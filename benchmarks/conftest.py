@@ -1,0 +1,34 @@
+"""Benchmark harness configuration.
+
+Every paper table/figure has one benchmark module.  The workload size is
+controlled by ``REPRO_SCALE`` (default ``bench``); set ``REPRO_SCALE=paper``
+to run the full-size experiments (hours on CPU) or ``REPRO_SCALE=smoke`` for
+a quick pass.  Accuracy-style "benchmarks" run once (rounds=1) and attach
+their scientific results to the benchmark's ``extra_info`` so the numbers
+land in the pytest-benchmark report next to the timings.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.flare import set_console_level
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _quiet_logs():
+    set_console_level(logging.ERROR)
+    yield
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

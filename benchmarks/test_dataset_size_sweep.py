@@ -1,0 +1,47 @@
+"""Ablation bench for §IV-B.3 / future work: accuracy vs dataset size.
+
+The paper attributes LSTM's win over BERT partly to dataset size ("LSTM can
+be effectively trained with relatively smaller amounts of data") and names
+the size sweep as future work.  This bench trains both families centralized
+on growing fractions of the cohort and records the accuracy curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import prepare_table3_data
+from repro.models import build_classifier
+from repro.training import run_centralized
+
+from .conftest import run_once
+
+FRACTIONS = (0.1, 0.3, 1.0)
+
+
+@pytest.mark.parametrize("model_name", ["bert-mini", "lstm"])
+def test_dataset_size_sweep(benchmark, scale, model_name):
+    if model_name not in scale.models:
+        model_name = {"bert-mini": "bert-tiny", "lstm": "lstm-tiny"}[model_name]
+    train, valid, _shards, vocab_size = prepare_table3_data(scale)
+    overrides = {"max_seq_len": scale.max_seq_len} if model_name.startswith("bert") else {}
+
+    def factory():
+        return build_classifier(model_name, vocab_size=vocab_size, seed=0, **overrides)
+
+    def sweep():
+        accs = {}
+        for fraction in FRACTIONS:
+            size = max(16, int(len(train) * fraction))
+            subset = train.subset(np.arange(size))
+            result = run_centralized(factory, subset, valid,
+                                     epochs=scale.centralized_epochs,
+                                     batch_size=scale.batch_size, lr=scale.lr)
+            accs[fraction] = round(100.0 * result.best_acc, 1)
+        return accs
+
+    accs = run_once(benchmark, sweep)
+    benchmark.extra_info["accuracy_by_fraction"] = accs
+    # more data should never hurt much: full-data acc within 5 pts of best
+    assert accs[1.0] >= max(accs.values()) - 5.0

@@ -1,0 +1,24 @@
+"""Bench for Fig. 3: the federated fine-tuning demonstration.
+
+Runs the 8-client simulator job and verifies the captured transcript shows
+every protocol stage of the paper's screenshot (token registration, local
+epochs, aggregation of 8 updates, persistence, round advance).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig3
+
+from .conftest import run_once
+
+
+def test_fig3_transcript(benchmark, scale):
+    result = run_once(benchmark, lambda: run_fig3(scale=scale))
+    benchmark.extra_info["stages"] = result.stages_found
+    benchmark.extra_info["sec_per_local_epoch"] = round(
+        result.seconds_per_local_epoch, 2)
+    print()
+    print(result.to_text())
+    missing = [stage for stage, found in result.stages_found.items() if not found]
+    assert not missing, f"transcript missing stages: {missing}"
+    assert len(result.tokens) == 8

@@ -1,0 +1,31 @@
+"""Bench for the §IV-B.4 timing observation: seconds per local epoch.
+
+The paper reports 12.7 s per local BERT epoch on an RTX 2080 Ti.  Our
+substrate is numpy-on-CPU at a reduced workload, so the absolute number
+differs; this bench records the equivalent measurement so the two can be
+compared in EXPERIMENTS.md, and also times one epoch for each model family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import prepare_table3_data
+from repro.models import build_classifier
+from repro.training import TrainConfig, train_classifier
+
+
+@pytest.mark.parametrize("model_name", ["bert", "bert-mini", "lstm"])
+def test_local_epoch_time(benchmark, scale, model_name):
+    if model_name not in scale.models:
+        pytest.skip(f"{model_name} not in scale {scale.name!r}")
+    _train, _valid, shards, vocab_size = prepare_table3_data(scale)
+    shard = shards["site-1"]  # the largest site (29% of the data)
+    overrides = {"max_seq_len": scale.max_seq_len} if model_name.startswith("bert") else {}
+    model = build_classifier(model_name, vocab_size=vocab_size, seed=0, **overrides)
+    config = TrainConfig(epochs=1, batch_size=scale.batch_size, lr=scale.lr)
+
+    benchmark.extra_info["shard_size"] = len(shard)
+    benchmark.extra_info["paper_reference_seconds"] = 12.7
+    benchmark.pedantic(lambda: train_classifier(model, shard, config),
+                       rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,47 @@
+"""Micro-benchmarks: forward+backward throughput of the Table II models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import functional as F
+from repro.models import build_classifier
+
+BATCH, SEQ, VOCAB = 16, 40, 200
+
+
+@pytest.mark.parametrize("model_name", ["bert", "bert-mini", "lstm"])
+def test_train_step_throughput(benchmark, model_name):
+    model = build_classifier(model_name, vocab_size=VOCAB, seed=0)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(1, VOCAB, size=(BATCH, SEQ))
+    labels = rng.integers(0, 2, size=BATCH)
+
+    def step():
+        model.zero_grad()
+        loss = F.cross_entropy(model(ids), labels)
+        loss.backward()
+        return float(loss.data)
+
+    loss = benchmark(step)
+    benchmark.extra_info["params"] = model.num_parameters()
+    benchmark.extra_info["samples_per_call"] = BATCH
+    assert np.isfinite(loss)
+
+
+@pytest.mark.parametrize("model_name", ["bert", "bert-mini", "lstm"])
+def test_inference_throughput(benchmark, model_name):
+    model = build_classifier(model_name, vocab_size=VOCAB, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    ids = rng.integers(1, VOCAB, size=(BATCH, SEQ))
+
+    from repro.autograd import no_grad
+
+    def infer():
+        with no_grad():
+            return model(ids).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (BATCH, 2)

@@ -1,0 +1,48 @@
+"""Ablation bench: effect of NVFlare-style privacy filters on FL accuracy.
+
+The paper positions NVFlare as privacy-preserving but does not quantify the
+privacy/utility trade-off; this ablation does, for the filter chain shipped
+with the framework: no filter vs Gaussian noise at two strengths vs
+percentile clipping.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import prepare_table3_data
+from repro.flare import GaussianPrivacy, PercentilePrivacy
+from repro.models import build_classifier
+from repro.training import run_federated
+
+from .conftest import run_once
+
+FILTERS = {
+    "none": lambda: [],
+    "gaussian-0.05": lambda: [GaussianPrivacy(sigma0=0.05, seed=0)],
+    "gaussian-0.3": lambda: [GaussianPrivacy(sigma0=0.3, seed=0)],
+    "percentile-10": lambda: [PercentilePrivacy(percentile=10.0)],
+}
+
+
+@pytest.mark.parametrize("filter_name", sorted(FILTERS))
+def test_privacy_filter_ablation(benchmark, scale, filter_name):
+    _train, valid, shards, vocab_size = prepare_table3_data(scale)
+    model_name = "lstm" if "lstm" in scale.models else "lstm-tiny"
+
+    def factory():
+        return build_classifier(model_name, vocab_size=vocab_size, seed=0)
+
+    def run():
+        # 1 local epoch regardless of scale: the ablation compares filters
+        # against each other, so the cheapest faithful FL loop suffices
+        return run_federated(
+            factory, shards, valid, num_rounds=scale.num_rounds,
+            local_epochs=1, batch_size=scale.batch_size,
+            lr=scale.lr, job_name=f"privacy-{filter_name}",
+            task_result_filters=FILTERS[filter_name]())
+
+    result = run_once(benchmark, run)
+    benchmark.extra_info["filter"] = filter_name
+    benchmark.extra_info["best_acc_percent"] = round(100.0 * result.best_acc, 1)
+    assert 0.0 <= result.best_acc <= 1.0

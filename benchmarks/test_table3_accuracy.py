@@ -1,0 +1,49 @@
+"""Bench for Table III: top-1 accuracy per model × training scheme.
+
+Regenerates every cell of the paper's Table III on the synthetic clopidogrel
+cohort and asserts the paper's qualitative shape:
+
+- FL tracks centralized for every model,
+- standalone (per-site training) is clearly worse,
+- the recursive model (LSTM) is the strongest under the paper's
+  hyperparameters.
+
+Timings are reported by pytest-benchmark; the accuracies land in
+``extra_info`` of the summary cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import TABLE3_PAPER_ACCURACY, run_table3, run_table3_cell
+
+from .conftest import run_once
+
+SCHEMES = ("centralized", "standalone", "fl")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("model_name", ["bert", "bert-mini", "lstm"])
+def test_table3_cell(benchmark, scale, scheme, model_name):
+    """One (scheme, model) cell: times the full training run."""
+    if model_name not in scale.models:
+        pytest.skip(f"{model_name} not in scale {scale.name!r}")
+    accuracy = run_once(benchmark, lambda: run_table3_cell(scheme, model_name,
+                                                           scale=scale))
+    benchmark.extra_info["top1_accuracy_percent"] = round(accuracy, 1)
+    benchmark.extra_info["paper_value"] = TABLE3_PAPER_ACCURACY.get(
+        scheme, {}).get(model_name)
+    assert 0.0 <= accuracy <= 100.0
+
+
+def test_table3_shape(benchmark, scale):
+    """The whole table at once, checked against the paper's orderings."""
+    result = run_once(benchmark, lambda: run_table3(scale=scale))
+    benchmark.extra_info["table"] = result.accuracy
+    print()
+    print(result.to_text())
+    checks = result.shape_checks()
+    print(checks)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Table III shape violated: {failed}\n{result.to_text()}"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""The paper's Fig. 3 demonstration: BERT fine-tuning on 8 simulated sites.
+
+Shows the raw framework API (no scheme helpers): provisioning, the token
+handshake, threaded clients, the ScatterAndGather controller, and the
+captured NVFlare-style transcript.
+
+Run:  python examples/federated_finetune.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    CohortSpec,
+    EhrTokenizer,
+    PAPER_IMBALANCED_RATIOS,
+    encode_cohort,
+    generate_cohort,
+    partition_by_ratios,
+    train_valid_split,
+)
+from repro.flare import (
+    FederatedClient,
+    FLServer,
+    FullModelShareableGenerator,
+    InTimeAccumulateWeightedAggregator,
+    MessageBus,
+    ModelPersistor,
+    Provisioner,
+    ScatterAndGather,
+    default_project,
+)
+from repro.models import build_classifier
+from repro.training import ClinicalClassificationLearner, evaluate_classifier
+
+N_CLIENTS = 8
+ROUNDS = 3
+LOCAL_EPOCHS = 2
+
+
+def main() -> None:
+    # data -----------------------------------------------------------------
+    cohort = generate_cohort(CohortSpec(n_patients=640, seed=7))
+    tokenizer = EhrTokenizer(cohort.vocab, max_len=32)
+    dataset = encode_cohort(cohort, tokenizer)
+    train_idx, valid_idx = train_valid_split(len(dataset), 0.2, seed=7)
+    train, valid = dataset.subset(train_idx), dataset.subset(valid_idx)
+    shards = dict(zip(
+        (f"site-{i}" for i in range(1, N_CLIENTS + 1)),
+        (train.subset(s) for s in partition_by_ratios(
+            len(train), PAPER_IMBALANCED_RATIOS, seed=7))))
+
+    def model_factory():
+        return build_classifier("bert-tiny", vocab_size=len(cohort.vocab),
+                                seed=3, max_seq_len=32)
+
+    # 1. provision (Fig. 1: "NVFlare provision") -----------------------------
+    project = default_project(n_clients=N_CLIENTS, name="fig3-demo")
+    kits = Provisioner(project, seed=0, key_bits=512).provision()
+    print(f"provisioned project {project.name!r}: "
+          f"{len(kits)} startup kits issued by {kits['server'].project_name}-ca")
+
+    # 2. server + clients with the token handshake ---------------------------
+    bus = MessageBus()
+    server = FLServer(kits["server"], bus, seed=0)
+    clients = []
+    for spec in project.clients:
+        learner = ClinicalClassificationLearner(
+            site_name=spec.name, model_factory=model_factory,
+            train_data=shards[spec.name], valid_data=valid,
+            local_epochs=LOCAL_EPOCHS, batch_size=32, lr=1e-2)
+        client = FederatedClient(kits[spec.name], learner, bus)
+        token = client.register(server)
+        print(f"  {spec.name} registered, token {token[:18]}...")
+        client.serve_in_thread()
+        clients.append(client)
+
+    # 3. the ScatterAndGather workflow ---------------------------------------
+    eval_model = model_factory()
+
+    def evaluator(weights):
+        eval_model.load_state_dict({k: np.asarray(v) for k, v in weights.items()},
+                                   strict=False)
+        accuracy, loss = evaluate_classifier(eval_model, valid)
+        return {"valid_acc": accuracy, "valid_loss": loss}
+
+    controller = ScatterAndGather(
+        server=server,
+        client_names=[c.name for c in clients],
+        initial_weights=model_factory().state_dict(),
+        aggregator=InTimeAccumulateWeightedAggregator(),
+        shareable_generator=FullModelShareableGenerator(),
+        persistor=ModelPersistor("runs/fig3-demo"),
+        num_rounds=ROUNDS,
+        evaluator=evaluator,
+    )
+    try:
+        stats = controller.run()
+    finally:
+        server.stop_clients([c.name for c in clients])
+        for client in clients:
+            client.stop()
+
+    # 4. results --------------------------------------------------------------
+    print()
+    for record in stats.rounds:
+        print(f"round {record.round_number}: "
+              f"global valid_acc={record.global_metrics['valid_acc']:.3f}, "
+              f"{len(record.client_records)} contributions, "
+              f"{record.seconds:.1f}s")
+    print(f"\nmean local-train time: "
+          f"{stats.mean_seconds_per_local_epoch() / LOCAL_EPOCHS:.2f} s/epoch "
+          f"(paper: 12.7 s on GPU at full scale)")
+    print(f"transport: {stats.messages_delivered} messages, "
+          f"{stats.bytes_delivered / 1e6:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""FedProx vs plain FedAvg on heavily non-IID (label-skewed) clinics.
+
+The paper's imbalanced split skews shard *sizes*; real multi-site clinical
+data also skews *case mix*.  This example partitions the cohort with a
+Dirichlet label-skew (some clinics see mostly ADR cases, others almost
+none), where plain FedAvg suffers from client drift, and compares it with
+the FedProx proximal term (mu > 0) built into the classification learner.
+
+Run:  python examples/fedprox_heterogeneity.py
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from repro.data import (
+    CohortSpec,
+    EhrTokenizer,
+    encode_cohort,
+    generate_cohort,
+    partition_label_skew,
+    train_valid_split,
+)
+from repro.experiments import format_table
+from repro.flare import set_console_level
+from repro.models import build_classifier
+from repro.training import run_federated
+
+
+def main() -> None:
+    set_console_level(logging.WARNING)
+    cohort = generate_cohort(CohortSpec(n_patients=800, seed=7))
+    dataset = encode_cohort(cohort, EhrTokenizer(cohort.vocab, max_len=32))
+    train_idx, valid_idx = train_valid_split(len(dataset), 0.2, seed=7)
+    train, valid = dataset.subset(train_idx), dataset.subset(valid_idx)
+
+    shard_indices = partition_label_skew(train.labels, n_clients=4, alpha=0.3,
+                                         seed=7)
+    shards = {f"site-{i + 1}": train.subset(s)
+              for i, s in enumerate(shard_indices)}
+    print("site positive rates (label-skewed clinics):",
+          {name: round(shard.positive_rate, 2) for name, shard in shards.items()})
+
+    positive = train.positive_rate
+    class_weights = np.array([1.0, (1.0 - positive) / positive])
+
+    def factory():
+        return build_classifier("lstm-tiny", vocab_size=len(cohort.vocab), seed=3)
+
+    rows = []
+    for mu in (0.0, 0.01, 0.1):
+        label = "FedAvg" if mu == 0.0 else f"FedProx mu={mu}"
+        print(f"running {label} ...")
+        result = run_federated(factory, shards, valid, num_rounds=6,
+                               local_epochs=2, lr=5e-3, seed=7,
+                               job_name=f"fedprox-{mu}",
+                               class_weights=class_weights, fedprox_mu=mu)
+        history = result.simulation.stats.global_metric_history("valid_acc")
+        rows.append([label, f"{100 * result.best_acc:.1f}",
+                     " ".join(f"{100 * v:.0f}" for v in history)])
+
+    print()
+    print(format_table(
+        ["aggregation", "best top-1 acc [%]", "round-by-round acc"],
+        rows, title="Client drift under label skew: FedAvg vs FedProx"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact in one run: Table III, Fig. 2, Fig. 3.
+
+Scale is controlled by REPRO_SCALE (smoke | bench | paper); default bench.
+
+Run:  REPRO_SCALE=smoke python examples/full_evaluation.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import get_scale, run_fig2, run_fig3, run_table3
+
+
+def main() -> None:
+    scale = get_scale()
+    print(f"scale: {scale.name} (cohort={scale.cohort_size}, "
+          f"rounds={scale.num_rounds}x{scale.local_epochs}, "
+          f"models={scale.models})")
+
+    started = time.time()
+    print("\n=== Table III ===")
+    table3 = run_table3(scale=scale)
+    print(table3.to_text())
+    for check, ok in table3.shape_checks().items():
+        print(f"  [{'x' if ok else ' '}] {check}")
+
+    print("\n=== Fig. 2 ===")
+    fig2 = run_fig2(scale=scale)
+    print(fig2.to_text())
+    for check, ok in fig2.shape_checks().items():
+        print(f"  [{'x' if ok else ' '}] {check}")
+
+    print("\n=== Fig. 3 ===")
+    fig3 = run_fig3(scale=scale)
+    print(fig3.to_text())
+    print("\ntranscript excerpt:")
+    for line in fig3.transcript.splitlines()[:12]:
+        print(" ", line)
+
+    print(f"\ntotal: {time.time() - started:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

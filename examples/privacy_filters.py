@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Privacy filters on the client → server path.
+
+NVFlare jobs can declare filter chains on task results; this example runs
+the same federated job with (a) no filter, (b) Gaussian noise, and
+(c) percentile clipping + norm capping, then compares accuracy — the
+privacy/utility trade-off, plus a demonstration of ExcludeVars keeping the
+site-specific classification head local.
+
+Run:  python examples/privacy_filters.py
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.data import (
+    CohortSpec,
+    EhrTokenizer,
+    encode_cohort,
+    generate_cohort,
+    partition_balanced,
+    train_valid_split,
+)
+from repro.experiments import format_table
+from repro.flare import (
+    ExcludeVars,
+    FilterChain,
+    GaussianPrivacy,
+    NormClipPrivacy,
+    PercentilePrivacy,
+    set_console_level,
+)
+from repro.models import build_classifier
+from repro.training import run_federated
+
+
+def main() -> None:
+    set_console_level(logging.WARNING)
+    cohort = generate_cohort(CohortSpec(n_patients=640, seed=7))
+    dataset = encode_cohort(cohort, EhrTokenizer(cohort.vocab, max_len=32))
+    train_idx, valid_idx = train_valid_split(len(dataset), 0.2, seed=7)
+    train, valid = dataset.subset(train_idx), dataset.subset(valid_idx)
+    shards = {f"site-{i + 1}": train.subset(s)
+              for i, s in enumerate(partition_balanced(len(train), 4, seed=7))}
+
+    def factory():
+        return build_classifier("lstm-tiny", vocab_size=len(cohort.vocab), seed=3)
+
+    chains = {
+        "no filter": [],
+        "gaussian sigma0=0.05": [GaussianPrivacy(sigma0=0.05, seed=0)],
+        "gaussian sigma0=0.5": [GaussianPrivacy(sigma0=0.5, seed=0)],
+        "percentile 10 + norm cap": [FilterChain([
+            PercentilePrivacy(percentile=10.0),
+            NormClipPrivacy(max_norm=50.0)])],
+    }
+
+    rows = []
+    for name, filters in chains.items():
+        print(f"running federated job with filter: {name} ...")
+        result = run_federated(factory, shards, valid, num_rounds=4,
+                               local_epochs=1, lr=1e-2,
+                               job_name=f"privacy-{name.split()[0]}",
+                               task_result_filters=filters)
+        rows.append([name, f"{100 * result.best_acc:.1f}"])
+
+    print()
+    print(format_table(["client-side result filter", "best top-1 acc [%]"],
+                       rows, title="Privacy/utility trade-off"))
+
+    # ExcludeVars: keep the head local, share only the encoder ----------------
+    print("\nExcludeVars demo: sharing everything except the classifier head")
+    result = run_federated(factory, shards, valid, num_rounds=2, local_epochs=1,
+                           lr=1e-2, job_name="privacy-exclude",
+                           task_result_filters=[ExcludeVars(["classifier.*"])])
+    sent = result.simulation.final_weights
+    print(f"  parameters in the aggregated global model: {len(sent)} "
+          f"(classifier.* kept on-site)")
+    assert not any(key.startswith("classifier.") for key in sent)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Fill EXPERIMENTS.md placeholders from a pytest-benchmark JSON report.
+
+Usage: python scripts/fill_experiments.py bench.json
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+
+def main(json_path: str) -> None:
+    report = json.loads(pathlib.Path(json_path).read_text())
+    table: dict[tuple[str, str], float] = {}
+    fig2: dict[str, float] = {}
+    fig3_stages = None
+    fig3_seconds = None
+    privacy: dict[str, float] = {}
+    sweep: dict[str, dict] = {}
+    robust: dict[str, float] = {}
+
+    for bench in report["benchmarks"]:
+        name = bench["name"]
+        extra = bench.get("extra_info", {})
+        if name.startswith("test_table3_cell["):
+            inside = name[name.index("[") + 1:-1]  # e.g. "bert-centralized"
+            model, scheme = inside.split("-", 1) if inside.count("-") == 1 else (None, None)
+            if model is None:  # parametrize order: model_name, scheme
+                parts = inside.rsplit("-", 1)
+                model, scheme = parts[0], parts[1]
+            value = extra.get("top1_accuracy_percent")
+            if value is not None:
+                table[(scheme, model)] = value
+        elif name.startswith("test_fig2_regime["):
+            regime = name[name.index("[") + 1:-1]
+            curve = extra.get("mlm_loss_curve")
+            if curve:
+                fig2[regime] = curve[-1]
+        elif name.startswith("test_fig3_transcript"):
+            fig3_stages = extra.get("stages")
+            fig3_seconds = extra.get("sec_per_local_epoch")
+        elif name.startswith("test_privacy_filter_ablation["):
+            privacy[extra.get("filter", "?")] = extra.get("best_acc_percent")
+        elif name.startswith("test_dataset_size_sweep["):
+            model = name[name.index("[") + 1:-1]
+            sweep[model] = extra.get("accuracy_by_fraction")
+        elif name.startswith("test_one_corrupted_site["):
+            agg = name[name.index("[") + 1:-1]
+            robust[agg] = extra.get("final_acc_percent")
+
+    replacements = {
+        "MEASURED_T3_CENT_BERT": table.get(("centralized", "bert")),
+        "MEASURED_T3_CENT_MINI": table.get(("centralized", "bert-mini")),
+        "MEASURED_T3_CENT_LSTM": table.get(("centralized", "lstm")),
+        "MEASURED_T3_SA_BERT": table.get(("standalone", "bert")),
+        "MEASURED_T3_SA_MINI": table.get(("standalone", "bert-mini")),
+        "MEASURED_T3_SA_LSTM": table.get(("standalone", "lstm")),
+        "MEASURED_T3_FL_BERT": table.get(("fl", "bert")),
+        "MEASURED_T3_FL_MINI": table.get(("fl", "bert-mini")),
+        "MEASURED_T3_FL_LSTM": table.get(("fl", "lstm")),
+        "MEASURED_F2_CENT": fig2.get("centralized"),
+        "MEASURED_F2_SMALL": fig2.get("small"),
+        "MEASURED_F2_IMB": fig2.get("fl-imbalanced"),
+        "MEASURED_F2_BAL": fig2.get("fl-balanced"),
+        "MEASURED_F3_STAGES": (f"{sum(fig3_stages.values())}/{len(fig3_stages)} stages"
+                               if fig3_stages else None),
+        "MEASURED_F3_SECONDS": fig3_seconds,
+        "MEASURED_PRIVACY": ", ".join(f"{k}: {v}%" for k, v in sorted(privacy.items()))
+                            or None,
+        "MEASURED_SWEEP": "; ".join(f"{m}: {v}" for m, v in sorted(sweep.items()))
+                          or None,
+        "MEASURED_ROBUST": ", ".join(f"{k}: {v}%" for k, v in sorted(robust.items()))
+                           or None,
+    }
+
+    path = pathlib.Path(__file__).resolve().parents[1] / "EXPERIMENTS.md"
+    text = path.read_text()
+    unresolved = []
+    for key, value in replacements.items():
+        if value is None:
+            unresolved.append(key)
+            continue
+        text = text.replace(key, str(value))
+    path.write_text(text)
+    print(f"filled {len(replacements) - len(unresolved)} placeholders; "
+          f"unresolved: {unresolved}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

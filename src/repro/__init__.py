@@ -1,0 +1,28 @@
+"""repro — reproduction of "Multi-Site Clinical Federated Learning using
+Recursive and Attentive Models and NVFlare" (ICDCS 2023).
+
+Subpackages
+-----------
+``repro.autograd``
+    From-scratch reverse-mode autodiff + optimisers (the PyTorch stand-in).
+``repro.nn``
+    Neural-network layers (attention, transformer, LSTM, heads).
+``repro.models``
+    The paper's models: BERT, BERT-mini, LSTM classifier (Table II presets).
+``repro.data``
+    Synthetic clopidogrel EHR cohort, tokenizer, partitioners, MLM masking.
+``repro.flare``
+    The NVFlare-style federated framework: provisioning, secure transport,
+    ScatterAndGather, aggregation, filters, simulator.
+``repro.training``
+    Learners, training loops and the centralized/standalone/FL schemes.
+``repro.experiments``
+    Reproductions of Table III, Fig. 2 and Fig. 3.
+"""
+
+from . import autograd, data, experiments, flare, models, nn, training
+
+__version__ = "1.0.0"
+
+__all__ = ["autograd", "nn", "models", "data", "flare", "training",
+           "experiments", "__version__"]

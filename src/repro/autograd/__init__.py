@@ -1,0 +1,37 @@
+"""``repro.autograd`` — the from-scratch deep-learning substrate.
+
+Stands in for PyTorch in this reproduction: a reverse-mode autodiff
+:class:`Tensor`, a :class:`Module` system, optimisers, LR schedulers,
+gradient clipping and checkpoint serialization.
+"""
+
+from . import functional, init
+from .clip import clip_grad_norm, clip_grad_value, grad_global_norm
+from .module import Module, ModuleList, Parameter
+from .numerical import check_gradients, numerical_grad
+from .optim import SGD, Adam, AdamW, Optimizer
+from .schedulers import (
+    ConstantLR,
+    CosineAnnealingLR,
+    LRScheduler,
+    StepLR,
+    WarmupLinearLR,
+)
+from .serialization import (
+    load_state_dict,
+    save_state_dict,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+)
+from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
+    "Module", "ModuleList", "Parameter",
+    "Optimizer", "SGD", "Adam", "AdamW",
+    "LRScheduler", "ConstantLR", "StepLR", "CosineAnnealingLR", "WarmupLinearLR",
+    "clip_grad_norm", "clip_grad_value", "grad_global_norm",
+    "save_state_dict", "load_state_dict", "state_dict_to_bytes", "state_dict_from_bytes",
+    "check_gradients", "numerical_grad",
+    "functional", "init",
+]

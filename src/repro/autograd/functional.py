@@ -1,0 +1,176 @@
+"""Functional neural-network operations built on :class:`repro.autograd.Tensor`.
+
+These mirror the parts of ``torch.nn.functional`` used by the paper's models:
+softmax / log-softmax, cross-entropy (with ``ignore_index`` for masked-language
+-model training), GELU, dropout and a scaled-dot-product attention helper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "nll_loss",
+    "gelu",
+    "relu",
+    "tanh",
+    "sigmoid",
+    "dropout",
+    "linear",
+    "embedding",
+    "one_hot",
+]
+
+_GELU_COEFF = math.sqrt(2.0 / math.pi)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, ignore_index: int | None = None,
+             reduction: str = "mean", class_weights: np.ndarray | None = None) -> Tensor:
+    """Negative log likelihood from log-probabilities.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(N, C)`` tensor of log-probabilities.
+    targets:
+        ``(N,)`` integer class indices.
+    ignore_index:
+        Target value whose positions contribute zero loss (used for non-masked
+        positions in MLM training).
+    reduction:
+        ``"mean"`` (weighted mean over non-ignored targets, torch semantics),
+        ``"sum"`` or ``"none"``.
+    class_weights:
+        Optional per-class loss weights ``(C,)`` — the standard treatment for
+        imbalanced clinical cohorts (e.g. the 21% ADR-positive rate).
+    """
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    n = targets.shape[0]
+    if log_probs.shape[0] != n:
+        raise ValueError(f"log_probs batch {log_probs.shape[0]} != targets batch {n}")
+    if ignore_index is not None:
+        valid = targets != ignore_index
+        safe_targets = np.where(valid, targets, 0)
+    else:
+        valid = np.ones(n, dtype=bool)
+        safe_targets = targets
+    picked = log_probs[(np.arange(n), safe_targets)]
+    weight_values = valid.astype(log_probs.dtype)
+    if class_weights is not None:
+        class_weights = np.asarray(class_weights, dtype=log_probs.dtype)
+        if class_weights.shape != (log_probs.shape[-1],):
+            raise ValueError(
+                f"class_weights shape {class_weights.shape} != ({log_probs.shape[-1]},)")
+        weight_values = weight_values * class_weights[safe_targets]
+    weights = Tensor(weight_values)
+    losses = -picked * weights
+    if reduction == "none":
+        return losses
+    total = losses.sum()
+    if reduction == "sum":
+        return total
+    if reduction == "mean":
+        denominator = float(weight_values.sum())
+        return total * (1.0 / max(denominator, 1e-12))
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray, ignore_index: int | None = None,
+                  reduction: str = "mean",
+                  class_weights: np.ndarray | None = None) -> Tensor:
+    """Softmax cross-entropy between ``(N, C)`` logits and integer targets."""
+    if logits.ndim != 2:
+        logits = logits.reshape(-1, logits.shape[-1])
+    return nll_loss(log_softmax(logits, axis=-1), targets, ignore_index=ignore_index,
+                    reduction=reduction, class_weights=class_weights)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
+                                     reduction: str = "mean") -> Tensor:
+    """Stable sigmoid cross-entropy: ``max(x,0) - x*t + log(1+exp(-|x|))``."""
+    t = Tensor(np.asarray(targets, dtype=logits.dtype))
+    relu_x = logits.relu()
+    # |x| expressed as relu(x) + relu(-x) keeps the gradient path intact.
+    abs_x = logits.relu() + (-logits).relu()
+    softplus = (Tensor(np.ones_like(logits.data)) + (-abs_x).exp()).log()
+    losses = relu_x - logits * t + softplus
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    return losses.mean()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU activation (tanh approximation, as in the original BERT code)."""
+    inner = (x + x * x * x * 0.044715) * _GELU_COEFF
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit (method alias)."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent (method alias)."""
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid (method alias)."""
+    return x.sigmoid()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: zero elements with probability ``p`` during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    keep = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(keep)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` with torch-style ``(out, in)`` weight layout."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Look up rows of ``weight`` (vocab, dim) by integer ``indices``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    return weight[idx]
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a float one-hot encoding (plain numpy; no gradient)."""
+    idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    out = np.zeros((idx.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(idx.shape[0]), idx] = 1.0
+    return out

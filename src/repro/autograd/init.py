@@ -1,0 +1,76 @@
+"""Weight initialisation schemes (Xavier/Glorot, Kaiming/He, normal, uniform).
+
+All initialisers take an explicit ``numpy.random.Generator`` so model
+construction is reproducible end to end — a requirement for comparing
+centralized / standalone / federated runs on equal footing.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+__all__ = [
+    "DEFAULT_DTYPE",
+    "xavier_uniform",
+    "xavier_normal",
+    "kaiming_uniform",
+    "normal",
+    "uniform",
+    "zeros",
+    "ones",
+]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 2:
+        raise ValueError(f"fan in/out undefined for shape {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(±gain·sqrt(6/(fan_in+fan_out)))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain²·2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(DEFAULT_DTYPE)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, a: float = math.sqrt(5)) -> np.ndarray:
+    """He uniform with leaky-relu gain (torch's Linear default)."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(DEFAULT_DTYPE)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02, mean: float = 0.0) -> np.ndarray:
+    """Gaussian init (BERT's 0.02-std default)."""
+    return rng.normal(mean, std, size=shape).astype(DEFAULT_DTYPE)
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform init on [low, high)."""
+    return rng.uniform(low, high, size=shape).astype(DEFAULT_DTYPE)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape, dtype=DEFAULT_DTYPE)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones init (norm scales)."""
+    return np.ones(shape, dtype=DEFAULT_DTYPE)

@@ -1,0 +1,173 @@
+"""Module system: named parameter trees, training-mode flags, state dicts.
+
+A light equivalent of ``torch.nn.Module`` sufficient for the paper's models.
+Sub-modules and parameters are discovered through attribute assignment, so
+model code reads exactly like PyTorch code.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model parameter."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are automatically registered and show up in
+    :meth:`parameters`, :meth:`named_parameters` and :meth:`state_dict`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        params = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
+        if params is None or modules is None:
+            raise AttributeError("Module.__init__() must be called before assigning attributes")
+        params.pop(name, None)
+        modules.pop(name, None)
+        if isinstance(value, Parameter):
+            params[name] = value
+        elif isinstance(value, Module):
+            modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a child module under an explicit name."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` over the whole subtree."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters, deduplicated (tied weights appear once)."""
+        seen: set[int] = set()
+        unique: list[Parameter] = []
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                unique.append(param)
+        return unique
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including this module itself."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module tree."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # training-mode & gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode (training=False everywhere)."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter in the subtree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Flat name → array copy of every parameter (detached)."""
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load arrays into parameters in place.
+
+        With ``strict=True`` (default), the key sets must match exactly and
+        shapes must agree.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name!r}: {value.shape} vs {param.data.shape}")
+            param.data[...] = value
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_repr = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_repr})"
+
+
+class ModuleList(Module):
+    """A list of sub-modules, registered by index."""
+
+    def __init__(self, modules=()) -> None:
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        """Add a module to the end of the list (registered by index)."""
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]

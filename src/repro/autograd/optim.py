@@ -1,0 +1,141 @@
+"""Optimisers: SGD (with momentum), Adam and AdamW.
+
+The paper trains every model with Adam at learning rate 1e-2 (Table I); the
+other optimisers exist for the ablation benches and for downstream users.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list and a learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: Sequence[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every managed parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the parameters' current gradients."""
+        raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        """Serializable optimiser state (moments, counters, hyperparams)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "momentum": self.momentum,
+                "weight_decay": self.weight_decay,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        for velocity, saved in zip(self._velocity, state["velocity"]):
+            velocity[...] = saved
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self._step_count += 1
+        bc1 = 1.0 - self.beta1 ** self._step_count
+        bc2 = 1.0 - self.beta2 ** self._step_count
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = self._apply_decay(param, param.grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bc1
+            v_hat = v / bc2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {"lr": self.lr, "betas": (self.beta1, self.beta2), "eps": self.eps,
+                "weight_decay": self.weight_decay, "step_count": self._step_count,
+                "m": [m.copy() for m in self._m], "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.lr = float(state["lr"])
+        self.beta1, self.beta2 = state["betas"]
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        for m, saved in zip(self._m, state["m"]):
+            m[...] = saved
+        for v, saved in zip(self._v, state["v"]):
+            v[...] = saved
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _apply_decay(self, param: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        return grad

@@ -1,0 +1,92 @@
+"""Learning-rate schedulers: constant, step decay, cosine, linear warmup.
+
+BERT pretraining conventionally uses linear warmup; the paper's fine-tuning
+runs use a constant learning rate of 1e-2 (Table I).  Schedulers mutate the
+optimiser's ``lr`` attribute in place on each :meth:`step`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "ConstantLR", "StepLR", "CosineAnnealingLR", "WarmupLinearLR"]
+
+
+class LRScheduler:
+    """Base scheduler: tracks an epoch counter and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:
+        """Learning rate for the current ``last_epoch``."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch and apply the new learning rate."""
+        self.last_epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRScheduler):
+    """Keep the learning rate fixed (the paper's fine-tuning setting)."""
+
+    def get_lr(self) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.last_epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLinearLR(LRScheduler):
+    """Linear warmup to the base rate, then linear decay to zero.
+
+    The schedule used by the original BERT pretraining recipe.
+    """
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int, total_steps: int) -> None:
+        super().__init__(optimizer)
+        if total_steps <= 0 or warmup_steps < 0 or warmup_steps > total_steps:
+            raise ValueError("need 0 <= warmup_steps <= total_steps and total_steps > 0")
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+
+    def get_lr(self) -> float:
+        step = min(self.last_epoch, self.total_steps)
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        remaining = self.total_steps - step
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return self.base_lr * remaining / denom

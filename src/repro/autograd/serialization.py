@@ -1,0 +1,46 @@
+"""Model checkpoint serialization.
+
+State dicts (flat ``name -> ndarray`` mappings) are stored as ``.npz``
+archives.  Parameter names may contain ``.`` which npz handles fine; we also
+provide an in-memory bytes codec used by the federated transport layer, so
+model weights can cross the (simulated) wire without pickle.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict", "state_dict_to_bytes", "state_dict_from_bytes"]
+
+
+def save_state_dict(state: dict, path: str | Path) -> Path:
+    """Write a state dict to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **{key: np.asarray(value) for key, value in state.items()})
+    return path
+
+
+def load_state_dict(path: str | Path) -> "OrderedDict[str, np.ndarray]":
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return OrderedDict((key, archive[key].copy()) for key in archive.files)
+
+
+def state_dict_to_bytes(state: dict) -> bytes:
+    """Serialize a state dict to npz bytes (no pickle)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **{key: np.asarray(value) for key, value in state.items()})
+    return buffer.getvalue()
+
+
+def state_dict_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
+    """Inverse of :func:`state_dict_to_bytes`."""
+    with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+        return OrderedDict((key, archive[key].copy()) for key in archive.files)

@@ -1,0 +1,39 @@
+"""``repro.data`` — synthetic clinical corpus, tokenization and partitioning."""
+
+from .dataset import ClassificationDataset, SequenceDataset, encode_cohort, train_valid_split
+from .ehr import (
+    PAPER_COHORT_SIZE,
+    PAPER_POSITIVE_COUNT,
+    ClinicalCohort,
+    CohortSpec,
+    PatientRecord,
+    build_clinical_vocab,
+    generate_cohort,
+    generate_pretraining_corpus,
+    load_cohort,
+    save_cohort,
+)
+from .mlm import IGNORE_INDEX, MlmCollator, MlmExample
+from .partition import (
+    PAPER_IMBALANCED_RATIOS,
+    partition_balanced,
+    partition_by_ratios,
+    partition_label_skew,
+    small_subset,
+)
+from .tokenizer import EhrTokenizer, Encoding
+from .vocab import (CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, Vocabulary,
+                    build_vocab_from_corpus)
+
+__all__ = [
+    "Vocabulary", "PAD", "CLS", "SEP", "MASK", "UNK", "SPECIAL_TOKENS",
+    "build_vocab_from_corpus", "save_cohort", "load_cohort",
+    "EhrTokenizer", "Encoding",
+    "PatientRecord", "ClinicalCohort", "CohortSpec",
+    "generate_cohort", "generate_pretraining_corpus", "build_clinical_vocab",
+    "PAPER_COHORT_SIZE", "PAPER_POSITIVE_COUNT",
+    "ClassificationDataset", "SequenceDataset", "encode_cohort", "train_valid_split",
+    "MlmCollator", "MlmExample", "IGNORE_INDEX",
+    "PAPER_IMBALANCED_RATIOS", "partition_by_ratios", "partition_balanced",
+    "partition_label_skew", "small_subset",
+]

@@ -1,0 +1,99 @@
+"""Array-backed datasets and batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .ehr import ClinicalCohort
+from .tokenizer import EhrTokenizer
+
+__all__ = ["ClassificationDataset", "SequenceDataset", "train_valid_split", "encode_cohort"]
+
+
+@dataclass
+class ClassificationDataset:
+    """Token ids + attention masks + integer labels."""
+
+    input_ids: np.ndarray       # (n, seq) int64
+    attention_mask: np.ndarray  # (n, seq) bool
+    labels: np.ndarray          # (n,) int64
+
+    def __post_init__(self) -> None:
+        n = self.input_ids.shape[0]
+        if self.attention_mask.shape[0] != n or self.labels.shape[0] != n:
+            raise ValueError("dataset arrays disagree on length")
+
+    def __len__(self) -> int:
+        return int(self.input_ids.shape[0])
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if len(self) else 0.0
+
+    def subset(self, indices: np.ndarray) -> "ClassificationDataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return ClassificationDataset(self.input_ids[indices],
+                                     self.attention_mask[indices],
+                                     self.labels[indices])
+
+    def iter_batches(self, batch_size: int, shuffle: bool = False,
+                     rng: np.random.Generator | None = None,
+                     drop_last: bool = False
+                     ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield ``(input_ids, attention_mask, labels)`` batches."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start:start + batch_size]
+            if drop_last and len(chunk) < batch_size:
+                return
+            yield self.input_ids[chunk], self.attention_mask[chunk], self.labels[chunk]
+
+
+@dataclass
+class SequenceDataset:
+    """Unlabeled token sequences (MLM pretraining input)."""
+
+    input_ids: np.ndarray       # (n, seq) int64
+    attention_mask: np.ndarray  # (n, seq) bool
+
+    def __len__(self) -> int:
+        return int(self.input_ids.shape[0])
+
+    def subset(self, indices: np.ndarray) -> "SequenceDataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return SequenceDataset(self.input_ids[indices], self.attention_mask[indices])
+
+    def iter_batches(self, batch_size: int, shuffle: bool = False,
+                     rng: np.random.Generator | None = None
+                     ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start:start + batch_size]
+            yield self.input_ids[chunk], self.attention_mask[chunk]
+
+
+def encode_cohort(cohort: ClinicalCohort, tokenizer: EhrTokenizer) -> ClassificationDataset:
+    """Encode every cohort record into a :class:`ClassificationDataset`."""
+    input_ids, attention_mask = tokenizer.encode_batch(cohort.texts())
+    return ClassificationDataset(input_ids, attention_mask, cohort.labels)
+
+
+def train_valid_split(n: int, valid_fraction: float = 0.2,
+                      seed: int = 13) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled index split; the paper uses an 80/20 split (6,927 / 1,732)."""
+    if not 0.0 < valid_fraction < 1.0:
+        raise ValueError("valid_fraction must be in (0, 1)")
+    order = np.random.default_rng(seed).permutation(n)
+    n_valid = max(1, int(round(n * valid_fraction)))
+    return np.sort(order[n_valid:]), np.sort(order[:n_valid])

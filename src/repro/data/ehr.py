@@ -1,0 +1,362 @@
+"""Synthetic clopidogrel-cohort EHR generator.
+
+The paper trains on 8,638 patients with clopidogrel prescriptions, of whom
+1,824 were treatment-failure (adverse drug reaction) cases — a proprietary
+Cipherome dataset (ref [13], prescription records + diagnosis codes).  This
+module generates the closest public stand-in: a synthetic cohort whose
+records are sequences of medical codes and whose failure labels follow a
+logistic risk model over clinically meaningful covariates.
+
+The risk factors mirror the real pharmacology of clopidogrel response:
+
+- CYP2C19 loss-of-function carriers metabolise the prodrug poorly,
+- co-prescribed CYP2C19-inhibiting proton-pump inhibitors (omeprazole,
+  esomeprazole) blunt activation,
+- diabetes, chronic kidney disease, prior stent thrombosis and smoking raise
+  the event rate,
+- older age bands contribute moderate risk.
+
+Because the label is a (noisy) function of token presence/co-occurrence, the
+classification task has the same *shape* as the paper's: binary outcome,
+~21% positive rate, predictable from code sequences but not trivially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = [
+    "PatientRecord",
+    "ClinicalCohort",
+    "CohortSpec",
+    "generate_cohort",
+    "generate_pretraining_corpus",
+    "build_clinical_vocab",
+    "PAPER_COHORT_SIZE",
+    "PAPER_POSITIVE_COUNT",
+    "save_cohort",
+    "load_cohort",
+]
+
+PAPER_COHORT_SIZE = 8_638
+PAPER_POSITIVE_COUNT = 1_824
+PAPER_POSITIVE_RATE = PAPER_POSITIVE_COUNT / PAPER_COHORT_SIZE  # 0.2112
+
+# ---------------------------------------------------------------------------
+# code inventory
+# ---------------------------------------------------------------------------
+AGE_BANDS = [f"AGE_{lo}_{lo + 9}" for lo in range(30, 100, 10)]
+SEX_TOKENS = ["SEX_M", "SEX_F"]
+GENOTYPE_TOKENS = ["CYP2C19_NORMAL", "CYP2C19_LOF"]
+
+# index drug — every patient in the cohort is on clopidogrel
+CLOPIDOGREL = "RX_B01AC04"
+
+# interacting proton-pump inhibitors (CYP2C19 inhibitors)
+INTERACTING_PPI = ["RX_A02BC01", "RX_A02BC05"]  # omeprazole, esomeprazole
+SAFE_PPI = ["RX_A02BC02"]  # pantoprazole (weak inhibitor)
+
+RISK_DIAGNOSES = {
+    "DX_E11": 0.9,   # type-2 diabetes
+    "DX_N18": 0.8,   # chronic kidney disease
+    "DX_I63": 0.6,   # prior ischaemic stroke
+    "DX_I21": 0.5,   # acute myocardial infarction (index event)
+    "DX_F17": 0.5,   # nicotine dependence
+    "DX_E78": 0.25,  # hyperlipidaemia
+}
+
+COMMON_DRUGS = [
+    "RX_B01AC06",  # aspirin
+    "RX_C10AA05",  # atorvastatin
+    "RX_C07AB07",  # bisoprolol
+    "RX_C09AA05",  # ramipril
+    "RX_A10BA02",  # metformin
+    "RX_C03CA01",  # furosemide
+    "RX_N02BE01",  # paracetamol
+    "RX_C08CA01",  # amlodipine
+]
+
+PROCEDURES = ["PROC_PCI", "PROC_CABG", "PROC_ANGIO", "PROC_ECHO", "PROC_ECG"]
+
+N_BACKGROUND_DX = 90
+N_BACKGROUND_RX = 60
+BACKGROUND_DX = [f"DX_B{index:03d}" for index in range(N_BACKGROUND_DX)]
+BACKGROUND_RX = [f"RX_B{index:03d}" for index in range(N_BACKGROUND_RX)]
+
+
+def build_clinical_vocab() -> Vocabulary:
+    """The full code vocabulary used by cohort and pretraining generators."""
+    tokens: list[str] = []
+    tokens += AGE_BANDS + SEX_TOKENS + GENOTYPE_TOKENS
+    tokens += [CLOPIDOGREL] + INTERACTING_PPI + SAFE_PPI
+    tokens += sorted(RISK_DIAGNOSES)
+    tokens += COMMON_DRUGS + PROCEDURES
+    tokens += BACKGROUND_DX + BACKGROUND_RX
+    return Vocabulary(tokens)
+
+
+# ---------------------------------------------------------------------------
+# cohort generation
+# ---------------------------------------------------------------------------
+@dataclass
+class PatientRecord:
+    """One synthetic patient: code sequence + treatment-failure label."""
+
+    patient_id: str
+    tokens: list[str]
+    label: int  # 1 = treatment failure (ADR), 0 = responder
+    covariates: dict = field(default_factory=dict)
+
+    def text(self) -> str:
+        """Record as a whitespace-joined code string (tokenizer input)."""
+        return " ".join(self.tokens)
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """Knobs of the generator.
+
+    ``label_noise`` is the probability of flipping the risk-model label;
+    ``risk_sharpness`` scales the logistic score, pushing per-patient risk
+    toward 0 or 1.  The defaults put the Bayes-optimal accuracy near 90%
+    at the paper's 21.1% positive rate, mirroring the high-80s ceiling of
+    the paper's Table III.
+    """
+
+    n_patients: int = PAPER_COHORT_SIZE
+    target_positive_rate: float = PAPER_POSITIVE_RATE
+    min_visit_codes: int = 8
+    max_visit_codes: int = 28
+    label_noise: float = 0.04
+    risk_sharpness: float = 3.0
+    seed: int = 7
+
+
+# logistic risk-model weights over covariates
+_RISK_WEIGHTS = {
+    "cyp2c19_lof": 2.6,
+    "interacting_ppi": 1.8,
+    "diabetes": 0.9,
+    "ckd": 0.8,
+    "prior_stroke": 0.6,
+    "smoker": 0.5,
+    "age_band": 0.12,  # per decade above 30
+}
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _sample_patient(index: int, spec: CohortSpec, rng: np.random.Generator,
+                    bias: float) -> PatientRecord:
+    age_band = int(rng.integers(0, len(AGE_BANDS)))
+    sex = SEX_TOKENS[int(rng.integers(0, 2))]
+    cyp_lof = rng.random() < 0.30          # LoF allele carrier prevalence
+    on_interacting_ppi = rng.random() < 0.25
+    on_safe_ppi = (not on_interacting_ppi) and rng.random() < 0.15
+    diabetes = rng.random() < 0.30
+    ckd = rng.random() < 0.15
+    prior_stroke = rng.random() < 0.12
+    smoker = rng.random() < 0.25
+
+    score = bias + spec.risk_sharpness * (
+        _RISK_WEIGHTS["cyp2c19_lof"] * cyp_lof
+        + _RISK_WEIGHTS["interacting_ppi"] * on_interacting_ppi
+        + _RISK_WEIGHTS["diabetes"] * diabetes
+        + _RISK_WEIGHTS["ckd"] * ckd
+        + _RISK_WEIGHTS["prior_stroke"] * prior_stroke
+        + _RISK_WEIGHTS["smoker"] * smoker
+        + _RISK_WEIGHTS["age_band"] * age_band
+    )
+    label = int(rng.random() < _sigmoid(score))
+    if rng.random() < spec.label_noise:
+        label = 1 - label
+
+    tokens = [AGE_BANDS[age_band], sex,
+              GENOTYPE_TOKENS[1] if cyp_lof else GENOTYPE_TOKENS[0],
+              CLOPIDOGREL]
+    visit: list[str] = []
+    if on_interacting_ppi:
+        visit.append(INTERACTING_PPI[int(rng.integers(0, len(INTERACTING_PPI)))])
+    if on_safe_ppi:
+        visit.append(SAFE_PPI[0])
+    if diabetes:
+        visit += ["DX_E11", "RX_A10BA02"]
+    if ckd:
+        visit.append("DX_N18")
+    if prior_stroke:
+        visit.append("DX_I63")
+    if smoker:
+        visit.append("DX_F17")
+    if rng.random() < 0.6:
+        visit.append("DX_I21")
+    if rng.random() < 0.5:
+        visit.append("PROC_PCI")
+
+    n_codes = int(rng.integers(spec.min_visit_codes, spec.max_visit_codes + 1))
+    n_filler = max(0, n_codes - len(visit))
+    filler_pool = COMMON_DRUGS + PROCEDURES + BACKGROUND_DX + BACKGROUND_RX
+    visit += [filler_pool[int(i)] for i in rng.integers(0, len(filler_pool), size=n_filler)]
+    rng.shuffle(visit)
+
+    return PatientRecord(
+        patient_id=f"P{index:06d}",
+        tokens=tokens + visit,
+        label=label,
+        covariates={
+            "age_band": age_band, "sex": sex, "cyp2c19_lof": cyp_lof,
+            "interacting_ppi": on_interacting_ppi, "diabetes": diabetes,
+            "ckd": ckd, "prior_stroke": prior_stroke, "smoker": smoker,
+        },
+    )
+
+
+def _calibrate_bias(spec: CohortSpec) -> float:
+    """Pick the logistic intercept so the marginal positive rate matches.
+
+    Solved by bisection on a fixed Monte-Carlo sample of covariates.
+    """
+    rng = np.random.default_rng(spec.seed + 104729)
+    n = 4_000
+    draws = {
+        "cyp2c19_lof": rng.random(n) < 0.30,
+        "interacting_ppi": rng.random(n) < 0.25,
+        "diabetes": rng.random(n) < 0.30,
+        "ckd": rng.random(n) < 0.15,
+        "prior_stroke": rng.random(n) < 0.12,
+        "smoker": rng.random(n) < 0.25,
+        "age_band": rng.integers(0, len(AGE_BANDS), size=n),
+    }
+    base = spec.risk_sharpness * sum(_RISK_WEIGHTS[key] * draws[key]
+                                     for key in _RISK_WEIGHTS)
+
+    lo, hi = -40.0, 10.0
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        rate = float(np.mean(1.0 / (1.0 + np.exp(-(base + mid)))))
+        # label noise flips both ways; match the post-noise marginal rate
+        noisy_rate = rate * (1.0 - 2.0 * spec.label_noise) + spec.label_noise
+        if noisy_rate > spec.target_positive_rate:
+            hi = mid
+        else:
+            lo = mid
+    return 0.5 * (lo + hi)
+
+
+@dataclass
+class ClinicalCohort:
+    """A generated cohort plus its vocabulary."""
+
+    records: list[PatientRecord]
+    vocab: Vocabulary
+    spec: CohortSpec
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.asarray([record.label for record in self.records], dtype=np.int64)
+
+    @property
+    def positive_rate(self) -> float:
+        return float(self.labels.mean()) if self.records else 0.0
+
+    def texts(self) -> list[str]:
+        return [record.text() for record in self.records]
+
+
+def generate_cohort(spec: CohortSpec | None = None) -> ClinicalCohort:
+    """Generate the synthetic clopidogrel cohort (deterministic per seed)."""
+    spec = spec or CohortSpec()
+    if spec.n_patients <= 0:
+        raise ValueError("n_patients must be positive")
+    bias = _calibrate_bias(spec)
+    rng = np.random.default_rng(spec.seed)
+    records = [_sample_patient(index, spec, rng, bias) for index in range(spec.n_patients)]
+    return ClinicalCohort(records=records, vocab=build_clinical_vocab(), spec=spec)
+
+
+def generate_pretraining_corpus(n_sequences: int, seed: int = 11,
+                                min_codes: int = 6, max_codes: int = 24) -> list[str]:
+    """Unlabeled EHR-style code sequences for MLM pretraining (Fig. 2).
+
+    Sequences follow the same grammar as cohort records (demographics +
+    genotype + visit codes) but span a broader synthetic population, playing
+    the role of the paper's 453k-sequence pretraining corpus.
+    """
+    if n_sequences <= 0:
+        raise ValueError("n_sequences must be positive")
+    rng = np.random.default_rng(seed)
+    filler_pool = COMMON_DRUGS + PROCEDURES + BACKGROUND_DX + BACKGROUND_RX
+    risk_pool = list(RISK_DIAGNOSES) + INTERACTING_PPI + SAFE_PPI + [CLOPIDOGREL]
+    corpus: list[str] = []
+    for _ in range(n_sequences):
+        tokens = [AGE_BANDS[int(rng.integers(0, len(AGE_BANDS)))],
+                  SEX_TOKENS[int(rng.integers(0, 2))],
+                  GENOTYPE_TOKENS[int(rng.random() < 0.30)]]
+        n_codes = int(rng.integers(min_codes, max_codes + 1))
+        n_risk = int(rng.integers(0, 4))
+        visit = [risk_pool[int(i)] for i in rng.integers(0, len(risk_pool), size=n_risk)]
+        visit += [filler_pool[int(i)] for i in rng.integers(0, len(filler_pool),
+                                                            size=max(0, n_codes - n_risk))]
+        rng.shuffle(visit)
+        corpus.append(" ".join(tokens + visit))
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+def save_cohort(cohort: ClinicalCohort, path) -> "Path":
+    """Write a cohort to JSONL (one patient per line) + spec header.
+
+    Line 1 is a metadata header with the generator spec, so a saved cohort is
+    self-describing and :func:`load_cohort` can verify compatibility.
+    """
+    import json
+    from dataclasses import asdict
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        handle.write(json.dumps({"kind": "clinical-cohort", "version": 1,
+                                 "spec": asdict(cohort.spec)}) + "\n")
+        for record in cohort.records:
+            handle.write(json.dumps({
+                "patient_id": record.patient_id,
+                "tokens": record.tokens,
+                "label": record.label,
+                "covariates": record.covariates,
+            }) + "\n")
+    return path
+
+
+def load_cohort(path) -> ClinicalCohort:
+    """Read a cohort previously written by :func:`save_cohort`."""
+    import json
+    from pathlib import Path
+
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise ValueError("empty cohort file")
+    header = json.loads(lines[0])
+    if header.get("kind") != "clinical-cohort":
+        raise ValueError("not a cohort file (bad header)")
+    spec = CohortSpec(**header["spec"])
+    records = []
+    for line in lines[1:]:
+        payload = json.loads(line)
+        records.append(PatientRecord(
+            patient_id=payload["patient_id"],
+            tokens=list(payload["tokens"]),
+            label=int(payload["label"]),
+            covariates=dict(payload["covariates"]),
+        ))
+    return ClinicalCohort(records=records, vocab=build_clinical_vocab(), spec=spec)

@@ -1,0 +1,99 @@
+"""Client partitioners for the federated experiments.
+
+The paper's non-IID setting splits the data across 8 clients with the ratios
+``{0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02}``; its balanced setting
+gives every client the same number of points; its "small dataset" regime is a
+single client's shard trained standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "PAPER_IMBALANCED_RATIOS",
+    "partition_by_ratios",
+    "partition_balanced",
+    "partition_label_skew",
+    "small_subset",
+]
+
+PAPER_IMBALANCED_RATIOS = (0.29, 0.22, 0.17, 0.14, 0.09, 0.04, 0.03, 0.02)
+
+
+def partition_by_ratios(n: int, ratios: tuple[float, ...] = PAPER_IMBALANCED_RATIOS,
+                        seed: int = 17) -> list[np.ndarray]:
+    """Disjoint shuffled index shards whose sizes follow ``ratios``.
+
+    Every index is assigned to exactly one shard; rounding remainders go to
+    the largest shard so shards are never empty when ``n >= len(ratios)``.
+    """
+    if n < len(ratios):
+        raise ValueError(f"cannot split {n} items into {len(ratios)} non-empty shards")
+    if any(r <= 0 for r in ratios):
+        raise ValueError("ratios must be positive")
+    total = sum(ratios)
+    normalized = [r / total for r in ratios]
+    sizes = [max(1, int(n * r)) for r in normalized]
+    # give the remainder (positive or negative) to the largest shard
+    sizes[int(np.argmax(sizes))] += n - sum(sizes)
+    if min(sizes) < 1:
+        raise ValueError("ratio so small that a shard would be empty")
+    order = np.random.default_rng(seed).permutation(n)
+    shards: list[np.ndarray] = []
+    cursor = 0
+    for size in sizes:
+        shards.append(np.sort(order[cursor:cursor + size]))
+        cursor += size
+    return shards
+
+
+def partition_balanced(n: int, n_clients: int, seed: int = 17) -> list[np.ndarray]:
+    """Equal-size disjoint shards (paper's balanced scheme).
+
+    When ``n`` is not divisible, the first ``n % n_clients`` shards get one
+    extra item.
+    """
+    if n_clients <= 0:
+        raise ValueError("n_clients must be positive")
+    if n < n_clients:
+        raise ValueError(f"cannot split {n} items into {n_clients} non-empty shards")
+    order = np.random.default_rng(seed).permutation(n)
+    return [np.sort(shard) for shard in np.array_split(order, n_clients)]
+
+
+def partition_label_skew(labels: np.ndarray, n_clients: int, alpha: float = 0.5,
+                         seed: int = 17) -> list[np.ndarray]:
+    """Dirichlet label-skew partition (a common non-IID benchmark scheme).
+
+    Included as an ablation beyond the paper's size-skew split: each class's
+    indices are distributed across clients with Dirichlet(alpha) proportions.
+    Smaller ``alpha`` means more skew.
+    """
+    labels = np.asarray(labels)
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    shards: list[list[int]] = [[] for _ in range(n_clients)]
+    for cls in np.unique(labels):
+        indices = np.flatnonzero(labels == cls)
+        rng.shuffle(indices)
+        proportions = rng.dirichlet([alpha] * n_clients)
+        cuts = (np.cumsum(proportions)[:-1] * len(indices)).astype(int)
+        for client, chunk in enumerate(np.split(indices, cuts)):
+            shards[client].extend(chunk.tolist())
+    return [np.sort(np.asarray(shard, dtype=np.int64)) for shard in shards]
+
+
+def small_subset(n: int, fraction: float = 0.02, seed: int = 17,
+                 minimum: int = 8) -> np.ndarray:
+    """A small random subset (the paper's "small dataset" lower-bound regime).
+
+    Defaults to the smallest imbalanced-client share (2%).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    size = max(minimum, int(round(n * fraction)))
+    size = min(size, n)
+    order = np.random.default_rng(seed).permutation(n)
+    return np.sort(order[:size])

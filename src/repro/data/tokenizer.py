@@ -1,0 +1,72 @@
+"""Tokenizer for EHR code sequences.
+
+Clinical records here are sequences of whitespace-separated medical codes
+(diagnosis, drug, procedure, demographic tokens), so tokenisation is code
+splitting plus special-token framing, truncation and padding — the analogue
+of the simple vocabulary tokenisers used with MLM-PyTorch in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .vocab import Vocabulary
+
+__all__ = ["Encoding", "EhrTokenizer"]
+
+
+@dataclass
+class Encoding:
+    """A batch-ready encoded sequence."""
+
+    input_ids: np.ndarray       # (seq,) int64
+    attention_mask: np.ndarray  # (seq,) bool, True = real token
+
+    def __post_init__(self) -> None:
+        if self.input_ids.shape != self.attention_mask.shape:
+            raise ValueError("input_ids and attention_mask must align")
+
+
+class EhrTokenizer:
+    """Turn a code string (or token list) into fixed-length id arrays.
+
+    Output layout: ``[CLS] code1 code2 ... [SEP] [PAD]*``.
+    """
+
+    def __init__(self, vocab: Vocabulary, max_len: int = 64) -> None:
+        if max_len < 3:
+            raise ValueError("max_len must leave room for [CLS] and [SEP]")
+        self.vocab = vocab
+        self.max_len = max_len
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split a record into code tokens."""
+        return text.split()
+
+    def encode(self, record: str | list[str]) -> Encoding:
+        """Encode one record to fixed-length arrays."""
+        tokens = self.tokenize(record) if isinstance(record, str) else list(record)
+        body = tokens[: self.max_len - 2]
+        ids = [self.vocab.cls_id] + self.vocab.encode_tokens(body) + [self.vocab.sep_id]
+        pad = self.max_len - len(ids)
+        input_ids = np.asarray(ids + [self.vocab.pad_id] * pad, dtype=np.int64)
+        attention_mask = np.zeros(self.max_len, dtype=bool)
+        attention_mask[: len(ids)] = True
+        return Encoding(input_ids=input_ids, attention_mask=attention_mask)
+
+    def encode_batch(self, records: list[str] | list[list[str]]) -> tuple[np.ndarray, np.ndarray]:
+        """Encode many records; returns ``(input_ids, attention_mask)`` arrays."""
+        encodings = [self.encode(record) for record in records]
+        input_ids = np.stack([e.input_ids for e in encodings])
+        attention_mask = np.stack([e.attention_mask for e in encodings])
+        return input_ids, attention_mask
+
+    def decode(self, input_ids: np.ndarray, skip_special: bool = True) -> list[str]:
+        """Map ids back to code tokens (dropping specials by default)."""
+        tokens = self.vocab.decode_ids(np.asarray(input_ids).tolist())
+        if skip_special:
+            special = set(self.vocab.decode_ids(self.vocab.special_ids))
+            tokens = [token for token in tokens if token not in special]
+        return tokens

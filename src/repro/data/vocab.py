@@ -1,0 +1,128 @@
+"""Vocabulary: token ↔ id mapping with the special tokens BERT needs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+PAD = "[PAD]"
+CLS = "[CLS]"
+SEP = "[SEP]"
+MASK = "[MASK]"
+UNK = "[UNK]"
+
+SPECIAL_TOKENS = (PAD, CLS, SEP, MASK, UNK)
+
+__all__ = ["Vocabulary", "PAD", "CLS", "SEP", "MASK", "UNK", "SPECIAL_TOKENS",
+           "build_vocab_from_corpus"]
+
+
+class Vocabulary:
+    """Immutable token ↔ id mapping.
+
+    Ids 0..4 are always the special tokens ``[PAD] [CLS] [SEP] [MASK] [UNK]``
+    (PAD must be 0 — the embedding layers use it as ``padding_idx``).
+    """
+
+    def __init__(self, tokens: Iterable[str]) -> None:
+        self._id_to_token: list[str] = list(SPECIAL_TOKENS)
+        seen = set(self._id_to_token)
+        for token in tokens:
+            if token in seen:
+                continue
+            seen.add(token)
+            self._id_to_token.append(token)
+        self._token_to_id = {token: index for index, token in enumerate(self._id_to_token)}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[SEP]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK]
+
+    @property
+    def special_ids(self) -> tuple[int, ...]:
+        return tuple(range(len(SPECIAL_TOKENS)))
+
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, index: int) -> str:
+        if not 0 <= index < len(self._id_to_token):
+            raise IndexError(f"id {index} out of range")
+        return self._id_to_token[index]
+
+    def encode_tokens(self, tokens: Sequence[str]) -> list[int]:
+        return [self.token_to_id(token) for token in tokens]
+
+    def decode_ids(self, ids: Sequence[int]) -> list[str]:
+        return [self.id_to_token(int(index)) for index in ids]
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (specials first)."""
+        return list(self._id_to_token)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self._id_to_token, indent=0))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Vocabulary":
+        tokens = json.loads(Path(path).read_text())
+        if tokens[: len(SPECIAL_TOKENS)] != list(SPECIAL_TOKENS):
+            raise ValueError("vocabulary file does not start with the special tokens")
+        return cls(tokens[len(SPECIAL_TOKENS):])
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Vocabulary) and other._id_to_token == self._id_to_token
+
+
+def build_vocab_from_corpus(corpus, min_freq: int = 1,
+                            max_size: int | None = None) -> Vocabulary:
+    """Build a :class:`Vocabulary` from whitespace-tokenised records.
+
+    Tokens are ordered by descending frequency (ties alphabetical), truncated
+    to ``max_size`` non-special entries, and filtered by ``min_freq`` — the
+    standard recipe for capping an open-ended code inventory.
+    """
+    if min_freq < 1:
+        raise ValueError("min_freq must be >= 1")
+    counts: dict[str, int] = {}
+    for record in corpus:
+        tokens = record.split() if isinstance(record, str) else record
+        for token in tokens:
+            counts[token] = counts.get(token, 0) + 1
+    kept = [token for token, count in counts.items() if count >= min_freq]
+    kept.sort(key=lambda token: (-counts[token], token))
+    if max_size is not None:
+        if max_size < 1:
+            raise ValueError("max_size must be >= 1")
+        kept = kept[:max_size]
+    return Vocabulary(kept)

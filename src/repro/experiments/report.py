@@ -1,0 +1,57 @@
+"""Plain-text table/figure rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "ascii_plot"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a fixed-width text table (paper-style)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    divider = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(divider)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, values: Sequence[float], precision: int = 3) -> str:
+    """One labelled numeric series, e.g. an MLM-loss trajectory."""
+    body = ", ".join(f"{v:.{precision}f}" for v in values)
+    return f"{name}: [{body}]"
+
+
+def ascii_plot(series: dict[str, Sequence[float]], width: int = 60,
+               height: int = 12, title: str = "") -> str:
+    """A rough ASCII line chart for loss curves (Fig. 2 in a terminal)."""
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return "(no data)"
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    max_len = max(len(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for index, (name, values) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for step, value in enumerate(values):
+            x = int(step / max(max_len - 1, 1) * (width - 1))
+            y = int((value - lo) / span * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = [title] if title else []
+    lines.append(f"{hi:8.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{lo:8.3f} ┤" + "".join(grid[-1]))
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}"
+                        for i, name in enumerate(sorted(series)))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

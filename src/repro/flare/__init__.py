@@ -1,0 +1,79 @@
+"""``repro.flare`` — the NVFlare-style federated-learning framework.
+
+Provision → register (token handshake) → ScatterAndGather rounds →
+aggregate → persist, all in one process, with a real (if in-memory) signed
+message transport.  See DESIGN.md for the mapping to NVFlare concepts.
+"""
+
+from .admin import AdminAPI, ClientInfo, JobStatus
+from .aggregators import (
+    Aggregator,
+    CoordinateMedianAggregator,
+    FedOptAggregator,
+    InTimeAccumulateWeightedAggregator,
+    TrimmedMeanAggregator,
+)
+from .client import FederatedClient, session_key_from_token
+from .constants import DataKind, EventType, FLRole, ReservedKey, ReturnCode, TaskName
+from .controller import ScatterAndGather
+from .cross_site_eval import CrossSiteModelEval
+from .dxo import DXO, MetaKey
+from .events import FLComponent, LogCapture, get_fl_logger, set_console_level
+from .filters import (
+    DXOFilter,
+    ExcludeVars,
+    FilterChain,
+    GaussianPrivacy,
+    NormClipPrivacy,
+    PercentilePrivacy,
+)
+from .fl_context import FLContext
+from .job import FLJob
+from .learner import Learner
+from .persistor import ModelPersistor
+from .provision import (
+    ParticipantSpec,
+    ProjectSpec,
+    Provisioner,
+    StartupKit,
+    default_project,
+    make_join_token,
+)
+from .security import (
+    Certificate,
+    CertificateAuthority,
+    RSAKeyPair,
+    generate_keypair,
+    hmac_sign,
+    hmac_verify,
+    sign,
+    verify,
+)
+from .server import AuthenticationError, FLServer
+from .shareable import Shareable, from_dxo, make_reply, to_dxo
+from .shareable_generator import FullModelShareableGenerator
+from .simulator import SimulationResult, SimulatorRunner
+from .stats import ClientRoundRecord, RoundRecord, RunStats
+from .transport import Message, MessageBus, TransportError
+
+__all__ = [
+    "DataKind", "ReturnCode", "EventType", "ReservedKey", "TaskName", "FLRole",
+    "AdminAPI", "ClientInfo", "JobStatus",
+    "FLContext", "FLComponent", "LogCapture", "get_fl_logger", "set_console_level",
+    "DXO", "MetaKey", "Shareable", "from_dxo", "to_dxo", "make_reply",
+    "RSAKeyPair", "generate_keypair", "sign", "verify",
+    "Certificate", "CertificateAuthority", "hmac_sign", "hmac_verify",
+    "ParticipantSpec", "ProjectSpec", "StartupKit", "Provisioner",
+    "default_project", "make_join_token",
+    "Message", "MessageBus", "TransportError",
+    "Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
+    "CoordinateMedianAggregator", "TrimmedMeanAggregator",
+    "FullModelShareableGenerator", "ModelPersistor",
+    "DXOFilter", "FilterChain", "ExcludeVars", "GaussianPrivacy",
+    "PercentilePrivacy", "NormClipPrivacy",
+    "Learner", "FederatedClient", "session_key_from_token",
+    "FLServer", "AuthenticationError",
+    "ScatterAndGather", "CrossSiteModelEval",
+    "FLJob", "SimulatorRunner", "SimulationResult",
+    "ClientRoundRecord", "RoundRecord", "RunStats",
+]

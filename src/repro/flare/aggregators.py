@@ -1,0 +1,218 @@
+"""Server-side aggregators.
+
+``InTimeAccumulateWeightedAggregator`` is NVFlare's default (and the one the
+paper's ScatterAndGather uses): client contributions are accumulated as they
+arrive, weighted by the number of local steps/samples, and the weighted mean
+is produced at the end of the round — i.e. FedAvg.  A FedOpt-style server
+optimiser is included as an ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DataKind
+from .dxo import DXO, MetaKey
+from .events import FLComponent
+from .fl_context import FLContext
+
+__all__ = ["Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
+           "CoordinateMedianAggregator", "TrimmedMeanAggregator"]
+
+
+class Aggregator(FLComponent):
+    """Accumulate client DXOs during a round, then emit the aggregate."""
+
+    def accept(self, dxo: DXO, contributor: str, fl_ctx: FLContext) -> bool:
+        raise NotImplementedError
+
+    def aggregate(self, fl_ctx: FLContext) -> DXO:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class InTimeAccumulateWeightedAggregator(Aggregator):
+    """Weighted running mean of client weight (or weight-diff) dictionaries.
+
+    Weights default to each contribution's ``NUM_STEPS_CURRENT_ROUND`` meta
+    (sample/step counts), reducing to plain FedAvg over examples.
+    """
+
+    def __init__(self, expected_data_kind: str = DataKind.WEIGHTS,
+                 name: str | None = None) -> None:
+        super().__init__(name=name)
+        if expected_data_kind not in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            raise ValueError(f"cannot aggregate data kind {expected_data_kind!r}")
+        self.expected_data_kind = expected_data_kind
+        self._sums: dict[str, np.ndarray] | None = None
+        self._total_weight = 0.0
+        self._contributors: list[str] = []
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._sums = None
+        self._total_weight = 0.0
+        self._contributors = []
+
+    @property
+    def contributors(self) -> list[str]:
+        return list(self._contributors)
+
+    def accept(self, dxo: DXO, contributor: str, fl_ctx: FLContext) -> bool:
+        if dxo.data_kind != self.expected_data_kind:
+            self.log_error("rejecting %s from %s: expected %s",
+                           dxo.data_kind, contributor, self.expected_data_kind)
+            return False
+        if contributor in self._contributors:
+            self.log_warning("duplicate contribution from %s ignored", contributor)
+            return False
+        weight = float(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 1.0))
+        if weight <= 0:
+            self.log_error("non-positive weight %.3f from %s rejected", weight, contributor)
+            return False
+        if self._sums is None:
+            self._sums = {key: np.zeros_like(np.asarray(value, dtype=np.float64))
+                          for key, value in dxo.data.items()}
+        if set(self._sums) != set(dxo.data):
+            self.log_error("parameter-name mismatch from %s rejected", contributor)
+            return False
+        for key, value in dxo.data.items():
+            self._sums[key] += weight * np.asarray(value, dtype=np.float64)
+        self._total_weight += weight
+        self._contributors.append(contributor)
+        round_number = fl_ctx.get_prop("current_round", 0)
+        self.log_info("Contribution from %s ACCEPTED by the aggregator at round %s.",
+                      contributor, round_number)
+        return True
+
+    def aggregate(self, fl_ctx: FLContext) -> DXO:
+        if self._sums is None or self._total_weight <= 0:
+            raise RuntimeError("nothing to aggregate")
+        self.log_info("aggregating %d update(s) at round %s",
+                      len(self._contributors), fl_ctx.get_prop("current_round", 0))
+        mean = {key: (value / self._total_weight).astype(np.float32)
+                for key, value in self._sums.items()}
+        return DXO(data_kind=self.expected_data_kind, data=mean,
+                   meta={"contributors": list(self._contributors)})
+
+
+class FedOptAggregator(InTimeAccumulateWeightedAggregator):
+    """Server-side adaptive step on the averaged weight diff (FedOpt/FedAdam).
+
+    Expects WEIGHT_DIFF contributions; maintains Adam-style moments over the
+    averaged diff and emits a WEIGHT_DIFF scaled by the adaptive step, so the
+    shareable generator can apply it exactly like plain FedAvg output.
+    """
+
+    def __init__(self, server_lr: float = 1.0, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8,
+                 name: str | None = None) -> None:
+        super().__init__(expected_data_kind=DataKind.WEIGHT_DIFF, name=name)
+        if server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+        self.server_lr = server_lr
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._step = 0
+
+    def aggregate(self, fl_ctx: FLContext) -> DXO:
+        averaged = super().aggregate(fl_ctx)
+        self._step += 1
+        adjusted: dict[str, np.ndarray] = {}
+        for key, diff in averaged.data.items():
+            diff64 = np.asarray(diff, dtype=np.float64)
+            m = self._m.setdefault(key, np.zeros_like(diff64))
+            v = self._v.setdefault(key, np.zeros_like(diff64))
+            m[...] = self.beta1 * m + (1 - self.beta1) * diff64
+            v[...] = self.beta2 * v + (1 - self.beta2) * diff64 * diff64
+            m_hat = m / (1 - self.beta1 ** self._step)
+            v_hat = v / (1 - self.beta2 ** self._step)
+            adjusted[key] = (self.server_lr * m_hat / (np.sqrt(v_hat) + self.eps)).astype(np.float32)
+        return DXO(data_kind=DataKind.WEIGHT_DIFF, data=adjusted, meta=averaged.meta)
+
+
+class CoordinateMedianAggregator(Aggregator):
+    """Coordinate-wise median of client updates (Byzantine-robust).
+
+    Unlike the weighted mean, a minority of arbitrarily corrupted client
+    updates cannot move the aggregate far — useful when some sites may ship
+    broken or adversarial weights.  Contribution weights are ignored.
+    """
+
+    def __init__(self, expected_data_kind: str = DataKind.WEIGHTS,
+                 name: str | None = None) -> None:
+        super().__init__(name=name)
+        if expected_data_kind not in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            raise ValueError(f"cannot aggregate data kind {expected_data_kind!r}")
+        self.expected_data_kind = expected_data_kind
+        self._stash: list[dict[str, np.ndarray]] = []
+        self._contributors: list[str] = []
+
+    def reset(self) -> None:
+        self._stash = []
+        self._contributors = []
+
+    @property
+    def contributors(self) -> list[str]:
+        return list(self._contributors)
+
+    def accept(self, dxo: DXO, contributor: str, fl_ctx: FLContext) -> bool:
+        if dxo.data_kind != self.expected_data_kind:
+            self.log_error("rejecting %s from %s", dxo.data_kind, contributor)
+            return False
+        if contributor in self._contributors:
+            self.log_warning("duplicate contribution from %s ignored", contributor)
+            return False
+        if self._stash and set(self._stash[0]) != set(dxo.data):
+            self.log_error("parameter-name mismatch from %s rejected", contributor)
+            return False
+        self._stash.append({key: np.asarray(value, dtype=np.float64)
+                            for key, value in dxo.data.items()})
+        self._contributors.append(contributor)
+        self.log_info("Contribution from %s ACCEPTED by the aggregator at round %s.",
+                      contributor, fl_ctx.get_prop("current_round", 0))
+        return True
+
+    def _combine(self, stacked: np.ndarray) -> np.ndarray:
+        return np.median(stacked, axis=0)
+
+    def aggregate(self, fl_ctx: FLContext) -> DXO:
+        if not self._stash:
+            raise RuntimeError("nothing to aggregate")
+        self.log_info("aggregating %d update(s) at round %s",
+                      len(self._stash), fl_ctx.get_prop("current_round", 0))
+        combined = {
+            key: self._combine(np.stack([entry[key] for entry in self._stash]))
+            .astype(np.float32)
+            for key in self._stash[0]
+        }
+        return DXO(data_kind=self.expected_data_kind, data=combined,
+                   meta={"contributors": list(self._contributors)})
+
+
+class TrimmedMeanAggregator(CoordinateMedianAggregator):
+    """Coordinate-wise trimmed mean: drop the k highest and k lowest values.
+
+    ``trim`` is the number of extremes removed per side; with ``trim=0`` this
+    reduces to an unweighted mean.  Requires at least ``2*trim + 1`` clients.
+    """
+
+    def __init__(self, trim: int = 1, expected_data_kind: str = DataKind.WEIGHTS,
+                 name: str | None = None) -> None:
+        super().__init__(expected_data_kind=expected_data_kind, name=name)
+        if trim < 0:
+            raise ValueError("trim must be non-negative")
+        self.trim = trim
+
+    def _combine(self, stacked: np.ndarray) -> np.ndarray:
+        n = stacked.shape[0]
+        if n <= 2 * self.trim:
+            raise RuntimeError(
+                f"trimmed mean needs > {2 * self.trim} contributions, got {n}")
+        if self.trim == 0:
+            return stacked.mean(axis=0)
+        ordered = np.sort(stacked, axis=0)
+        return ordered[self.trim:n - self.trim].mean(axis=0)

@@ -1,0 +1,158 @@
+"""FederatedClient: registration handshake + task execution loop."""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from .constants import EventType, ReservedKey, ReturnCode, TaskName
+from .dxo import DXO, MetaKey
+from .events import FLComponent
+from .filters import DXOFilter
+from .fl_context import FLContext
+from .learner import Learner
+from .provision import StartupKit
+from .security import sign
+from .shareable import Shareable, from_dxo, make_reply, to_dxo
+from .transport import MessageBus, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import FLServer
+
+__all__ = ["FederatedClient", "session_key_from_token"]
+
+_STOP_TOPIC = "__stop__"
+
+
+def session_key_from_token(token: str) -> bytes:
+    """Both sides derive the HMAC session key from the issued join token."""
+    return hashlib.sha256(token.encode("utf-8")).digest()
+
+
+class FederatedClient(FLComponent):
+    """One participating site: owns a learner and a startup kit."""
+
+    def __init__(self, kit: StartupKit, learner: Learner, bus: MessageBus,
+                 task_result_filters: list[DXOFilter] | None = None,
+                 task_data_filters: list[DXOFilter] | None = None) -> None:
+        super().__init__(name=kit.participant.name)
+        self.kit = kit
+        self.learner = learner
+        self.bus = bus
+        self.task_result_filters = list(task_result_filters or [])
+        self.task_data_filters = list(task_data_filters or [])
+        self.token: str | None = None
+        self.server_name: str | None = None
+        self.fl_ctx = FLContext(identity=self.name)
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        # Optional shared semaphore bounding how many clients train at once
+        # (the simulator installs one, mirroring NVFlare's simulator thread
+        # pool; training 8 BERTs concurrently on one box exhausts memory).
+        self.task_semaphore: threading.Semaphore | None = None
+        bus.register_endpoint(self.name)
+
+    # ------------------------------------------------------------------
+    # registration (the Fig. 3 "Token & SSH Protocols" stage)
+    # ------------------------------------------------------------------
+    def register(self, server: "FLServer") -> str:
+        """Authenticate to the server and install the session key.
+
+        The client proves possession of its provisioned private key by
+        signing a server-issued nonce; the server verifies the certificate
+        chain and answers with a join token from which both ends derive the
+        HMAC session key.
+        """
+        nonce = server.issue_nonce(self.name)
+        proof = sign(nonce, self.kit.keypair)
+        token = server.register_client(self.kit.certificate, nonce, proof)
+        self.token = token
+        self.server_name = server.name
+        self.bus.install_session_key(self.name, session_key_from_token(token))
+        self.fl_ctx.set_prop(ReservedKey.TOKEN, token)
+        self.learner.initialize(self.fl_ctx)
+        return token
+
+    # ------------------------------------------------------------------
+    # task processing
+    # ------------------------------------------------------------------
+    def process_task(self, task_name: str, shareable: Shareable) -> Shareable:
+        """Execute one task against the learner, applying filter chains."""
+        self.fl_ctx.set_prop(ReservedKey.CURRENT_ROUND,
+                             shareable.get_header(ReservedKey.ROUND_NUMBER, 0))
+        try:
+            dxo = to_dxo(shareable)
+        except ValueError:
+            return make_reply(ReturnCode.BAD_TASK_DATA)
+        for task_filter in self.task_data_filters:
+            dxo = task_filter.process(dxo, self.fl_ctx)
+        gate = self.task_semaphore
+        try:
+            if gate is not None:
+                gate.acquire()
+            try:
+                if task_name == TaskName.TRAIN:
+                    self.fire_event(EventType.BEFORE_TRAIN_TASK, self.fl_ctx)
+                    started = time.perf_counter()
+                    result = self.learner.train(dxo, self.fl_ctx)
+                    elapsed = time.perf_counter() - started
+                    result.set_meta_prop("train_seconds", elapsed)
+                    self.fire_event(EventType.AFTER_TRAIN_TASK, self.fl_ctx)
+                elif task_name == TaskName.VALIDATE:
+                    metrics = self.learner.validate(dxo, self.fl_ctx)
+                    result = DXO(data_kind="METRICS", data=dict(metrics),
+                                 meta={MetaKey.CLIENT_NAME: self.name})
+                else:
+                    return make_reply(ReturnCode.TASK_UNKNOWN)
+            finally:
+                if gate is not None:
+                    gate.release()
+        except Exception as error:  # surfaced as a return code, like NVFlare
+            self.log_error("task %s failed: %s", task_name, error)
+            return make_reply(ReturnCode.EXECUTION_EXCEPTION)
+        for result_filter in self.task_result_filters:
+            result = result_filter.process(result, self.fl_ctx)
+        result.set_meta_prop(MetaKey.CLIENT_NAME, self.name)
+        reply = from_dxo(result)
+        reply.set_return_code(ReturnCode.OK)
+        reply.set_header(ReservedKey.CLIENT_NAME, self.name)
+        reply.set_header(ReservedKey.TASK_NAME, task_name)
+        return reply
+
+    # ------------------------------------------------------------------
+    # message loop
+    # ------------------------------------------------------------------
+    def poll_once(self, timeout: float = 30.0) -> bool:
+        """Receive and handle one message; False when told to stop."""
+        sender, topic, shareable = self.bus.receive(self.name, timeout=timeout)
+        if topic == _STOP_TOPIC:
+            return False
+        reply = self.process_task(topic, shareable)
+        self.bus.send_shareable(self.name, sender, f"{topic}:result", reply)
+        return True
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run the message loop on a daemon thread (simulator mode)."""
+        if self.token is None:
+            raise RuntimeError(f"{self.name} must register before serving")
+
+        def loop() -> None:
+            while not self._stopping.is_set():
+                try:
+                    if not self.poll_once(timeout=1.0):
+                        return
+                except TransportError:
+                    continue  # idle timeout; check the stop flag again
+
+        self._thread = threading.Thread(target=loop, name=f"client-{self.name}", daemon=True)
+        self._thread.start()
+        return self._thread
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.learner.finalize(self.fl_ctx)

@@ -1,0 +1,72 @@
+"""Shared constants of the federated framework (NVFlare-style vocabulary)."""
+
+from __future__ import annotations
+
+__all__ = ["DataKind", "ReturnCode", "EventType", "ReservedKey", "TaskName", "FLRole"]
+
+
+class DataKind:
+    """What a DXO payload contains."""
+
+    WEIGHTS = "WEIGHTS"
+    WEIGHT_DIFF = "WEIGHT_DIFF"
+    METRICS = "METRICS"
+    COLLECTION = "COLLECTION"
+
+
+class ReturnCode:
+    """Result status carried in a Shareable header."""
+
+    OK = "OK"
+    EXECUTION_EXCEPTION = "EXECUTION_EXCEPTION"
+    TASK_UNKNOWN = "TASK_UNKNOWN"
+    BAD_TASK_DATA = "BAD_TASK_DATA"
+    EMPTY_RESULT = "EMPTY_RESULT"
+    UNAUTHENTICATED = "UNAUTHENTICATED"
+
+
+class EventType:
+    """Events fired through the FL component tree."""
+
+    START_RUN = "START_RUN"
+    END_RUN = "END_RUN"
+    ROUND_STARTED = "ROUND_STARTED"
+    TASKS_BROADCAST = "TASKS_BROADCAST"
+    ROUND_DONE = "ROUND_DONE"
+    BEFORE_TRAIN_TASK = "BEFORE_TRAIN_TASK"
+    AFTER_TRAIN_TASK = "AFTER_TRAIN_TASK"
+    BEFORE_AGGREGATION = "BEFORE_AGGREGATION"
+    AFTER_AGGREGATION = "AFTER_AGGREGATION"
+    CLIENT_REGISTERED = "CLIENT_REGISTERED"
+    BEST_MODEL_UPDATED = "BEST_MODEL_UPDATED"
+
+
+class ReservedKey:
+    """Well-known Shareable header / FLContext property keys."""
+
+    TASK_NAME = "__task_name__"
+    ROUND_NUMBER = "__round_number__"
+    TOTAL_ROUNDS = "__total_rounds__"
+    RETURN_CODE = "__return_code__"
+    CLIENT_NAME = "__client_name__"
+    NUM_STEPS = "__num_steps_current_round__"
+    TOKEN = "__token__"
+    CURRENT_ROUND = "current_round"
+    GLOBAL_MODEL = "global_model"
+    RUN_DIR = "run_dir"
+
+
+class TaskName:
+    """Task identifiers used by the workflows."""
+
+    TRAIN = "train"
+    VALIDATE = "validate"
+    SUBMIT_MODEL = "submit_model"
+
+
+class FLRole:
+    """Participant roles in a provisioned project."""
+
+    SERVER = "server"
+    CLIENT = "client"
+    ADMIN = "admin"

@@ -1,0 +1,181 @@
+"""ScatterAndGather: the federated workflow the paper runs.
+
+Each round (paper Sec. III-A): broadcast the global model to every client,
+wait for local training results, aggregate the weighted updates, persist the
+new global model, validate it, repeat for E communication rounds.  The log
+lines emitted here are the ones shown in the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from .aggregators import Aggregator
+from .constants import EventType, ReservedKey, ReturnCode, TaskName
+from .dxo import MetaKey
+from .events import FLComponent
+from .filters import DXOFilter
+from .persistor import ModelPersistor
+from .server import FLServer
+from .shareable import to_dxo
+from .shareable_generator import FullModelShareableGenerator
+from .stats import ClientRoundRecord, RoundRecord, RunStats
+from .transport import TransportError
+
+__all__ = ["ScatterAndGather"]
+
+Evaluator = Callable[[dict[str, np.ndarray]], dict[str, float]]
+
+
+class ScatterAndGather(FLComponent):
+    """The controller coordinating rounds on the server.
+
+    Parameters
+    ----------
+    server:
+        Registered :class:`FLServer` with a live message bus.
+    client_names:
+        Participating sites (must all be registered).
+    initial_weights:
+        Round-0 global model.
+    aggregator, shareable_generator, persistor:
+        Pluggable workflow components, as in an NVFlare job config.
+    num_rounds:
+        E communication rounds.
+    evaluator:
+        Optional server-side validation run on each new global model; its
+        metrics land in the run stats (key ``valid_acc`` drives best-model
+        tracking).
+    result_filters:
+        Server-side task-result filter chain.
+    min_clients:
+        Abort the round if fewer OK results arrive.
+    """
+
+    def __init__(self, server: FLServer, client_names: list[str],
+                 initial_weights: dict[str, np.ndarray],
+                 aggregator: Aggregator,
+                 shareable_generator: FullModelShareableGenerator | None = None,
+                 persistor: ModelPersistor | None = None,
+                 num_rounds: int = 10,
+                 evaluator: Evaluator | None = None,
+                 result_filters: list[DXOFilter] | None = None,
+                 min_clients: int | None = None,
+                 clients_per_round: int | None = None,
+                 result_timeout: float = 600.0,
+                 sampling_seed: int = 0) -> None:
+        super().__init__(name="ScatterAndGather")
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if not client_names:
+            raise ValueError("need at least one client")
+        self.server = server
+        self.client_names = list(client_names)
+        self.global_weights = {key: np.asarray(value).copy()
+                               for key, value in initial_weights.items()}
+        self.aggregator = aggregator
+        self.shareable_generator = shareable_generator or FullModelShareableGenerator()
+        self.persistor = persistor
+        self.num_rounds = num_rounds
+        self.evaluator = evaluator
+        self.result_filters = list(result_filters or [])
+        if clients_per_round is not None and not 0 < clients_per_round <= len(client_names):
+            raise ValueError("clients_per_round must be in [1, len(client_names)]")
+        self.clients_per_round = clients_per_round
+        self.result_timeout = result_timeout
+        self._sampling_rng = np.random.default_rng(sampling_seed)
+        default_min = clients_per_round if clients_per_round is not None else len(client_names)
+        self.min_clients = min_clients if min_clients is not None else default_min
+        self.stats = RunStats()
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        """Execute all rounds; returns the collected statistics."""
+        fl_ctx = self.server.fl_ctx
+        self.fire_event(EventType.START_RUN, fl_ctx)
+        for round_number in range(self.num_rounds):
+            self._run_round(round_number, fl_ctx)
+        self.fire_event(EventType.END_RUN, fl_ctx)
+        self.stats.messages_delivered = self.server.bus.delivered_count
+        self.stats.bytes_delivered = self.server.bus.delivered_bytes
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _run_round(self, round_number: int, fl_ctx) -> None:
+        round_started = time.perf_counter()
+        self.log_info("Round %d started.", round_number)
+        fl_ctx.set_prop(ReservedKey.CURRENT_ROUND, round_number)
+        fl_ctx.set_prop("current_round", round_number)
+        self.fire_event(EventType.ROUND_STARTED, fl_ctx)
+
+        if self.clients_per_round is not None and self.clients_per_round < len(self.client_names):
+            chosen = self._sampling_rng.choice(len(self.client_names),
+                                               size=self.clients_per_round,
+                                               replace=False)
+            participants = [self.client_names[index] for index in sorted(chosen)]
+            self.log_info("sampled %d/%d clients for round %d: %s",
+                          len(participants), len(self.client_names), round_number,
+                          ", ".join(participants))
+        else:
+            participants = list(self.client_names)
+
+        task = self.shareable_generator.learnable_to_shareable(self.global_weights, fl_ctx)
+        task.set_header(ReservedKey.ROUND_NUMBER, round_number)
+        task.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
+        self.server.broadcast_task(TaskName.TRAIN, task, participants)
+        self.fire_event(EventType.TASKS_BROADCAST, fl_ctx)
+
+        record = RoundRecord(round_number=round_number)
+        self.aggregator.reset()
+        accepted = 0
+        for _ in participants:
+            try:
+                sender, reply = self.server.collect_results(
+                    1, timeout=self.result_timeout)[0]
+            except TransportError:
+                self.log_warning(
+                    "round %d: result wait timed out after %.0fs; proceeding "
+                    "with %d result(s)", round_number, self.result_timeout, accepted)
+                break
+            if reply.return_code != ReturnCode.OK:
+                self.log_warning("client %s returned %s; skipping its update",
+                                 sender, reply.return_code)
+                continue
+            dxo = to_dxo(reply)
+            for result_filter in self.result_filters:
+                dxo = result_filter.process(dxo, fl_ctx)
+            self.log_info("Contribution from %s received.", sender)
+            if self.aggregator.accept(dxo, sender, fl_ctx):
+                accepted += 1
+            record.client_records.append(ClientRoundRecord(
+                client=sender,
+                round_number=round_number,
+                train_loss=float(dxo.get_meta_prop("train_loss", float("nan"))),
+                valid_acc=float(dxo.get_meta_prop("valid_acc", float("nan"))),
+                num_steps=int(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 0)),
+                seconds=float(dxo.get_meta_prop("train_seconds", 0.0)),
+            ))
+        if accepted < self.min_clients:
+            raise RuntimeError(
+                f"round {round_number}: only {accepted} usable results "
+                f"(min_clients={self.min_clients})")
+
+        self.fire_event(EventType.BEFORE_AGGREGATION, fl_ctx)
+        aggregated = self.aggregator.aggregate(fl_ctx)
+        self.log_info("End aggregation.")
+        self.global_weights = self.shareable_generator.dxo_to_learnable(
+            aggregated, self.global_weights)
+        self.fire_event(EventType.AFTER_AGGREGATION, fl_ctx)
+
+        if self.evaluator is not None:
+            record.global_metrics = dict(self.evaluator(self.global_weights))
+        if self.persistor is not None:
+            self.persistor.save(self.global_weights, fl_ctx,
+                                metric=record.global_metrics.get("valid_acc"))
+        record.seconds = time.perf_counter() - round_started
+        self.stats.add_round(record)
+        self.log_info("Round %d finished.", round_number)
+        self.fire_event(EventType.ROUND_DONE, fl_ctx)

@@ -1,0 +1,79 @@
+"""Cross-site model evaluation workflow.
+
+After training, the server asks every site to validate the global model (and
+optionally each other's submitted models) on its local validation data —
+NVFlare's ``CrossSiteModelEval``.  The result is the site × model accuracy
+matrix used to judge generalisation across heterogeneous clinics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DataKind, ReservedKey, ReturnCode, TaskName
+from .dxo import DXO
+from .events import FLComponent
+from .server import FLServer
+from .shareable import from_dxo, to_dxo
+
+__all__ = ["CrossSiteModelEval"]
+
+
+class CrossSiteModelEval(FLComponent):
+    """Broadcast models for validation; collect a site × model metric grid."""
+
+    def __init__(self, server: FLServer, client_names: list[str]) -> None:
+        super().__init__(name="CrossSiteModelEval")
+        if not client_names:
+            raise ValueError("need at least one client")
+        self.server = server
+        self.client_names = list(client_names)
+
+    def evaluate(self, models: dict[str, dict[str, np.ndarray]]
+                 ) -> dict[str, dict[str, dict[str, float]]]:
+        """Validate every named model on every site.
+
+        Parameters
+        ----------
+        models:
+            ``model_name -> state_dict`` (e.g. the global model and/or each
+            site's best local model).
+
+        Returns
+        -------
+        ``model_name -> site -> metrics`` nested mapping.
+        """
+        results: dict[str, dict[str, dict[str, float]]] = {}
+        for model_name, weights in models.items():
+            self.log_info("cross-site validation of model %r", model_name)
+            dxo = DXO(data_kind=DataKind.WEIGHTS,
+                      data={key: np.asarray(value) for key, value in weights.items()},
+                      meta={"model_name": model_name})
+            task = from_dxo(dxo)
+            task.set_header(ReservedKey.TASK_NAME, TaskName.VALIDATE)
+            self.server.broadcast_task(TaskName.VALIDATE, task, self.client_names)
+            per_site: dict[str, dict[str, float]] = {}
+            for _ in self.client_names:
+                sender, reply = self.server.collect_results(1)[0]
+                if reply.return_code != ReturnCode.OK:
+                    self.log_warning("site %s failed validation of %r", sender, model_name)
+                    continue
+                metrics_dxo = to_dxo(reply)
+                per_site[sender] = {key: float(value)
+                                    for key, value in metrics_dxo.data.items()}
+            results[model_name] = per_site
+        return results
+
+    @staticmethod
+    def as_matrix(results: dict[str, dict[str, dict[str, float]]],
+                  metric: str = "valid_acc") -> tuple[list[str], list[str], np.ndarray]:
+        """Flatten nested results into (model_names, sites, matrix)."""
+        model_names = sorted(results)
+        sites = sorted({site for per_site in results.values() for site in per_site})
+        matrix = np.full((len(model_names), len(sites)), np.nan)
+        for i, model_name in enumerate(model_names):
+            for j, site in enumerate(sites):
+                value = results[model_name].get(site, {}).get(metric)
+                if value is not None:
+                    matrix[i, j] = value
+        return model_names, sites, matrix

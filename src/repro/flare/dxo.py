@@ -1,0 +1,109 @@
+"""DXO — the Data Exchange Object.
+
+NVFlare moves model weights and metrics between components inside DXOs: a
+``data_kind`` tag, a dict payload, and free-form metadata.  This module also
+provides a pickle-free wire codec (JSON header + npz tensor block) used by
+the transport layer, so everything that crosses the simulated network is
+actually serialized and deserialized.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from typing import Any, Mapping
+
+import numpy as np
+
+from .constants import DataKind
+
+__all__ = ["DXO", "MetaKey"]
+
+_MAGIC = b"DXO1"
+
+
+class MetaKey:
+    """Common DXO metadata keys."""
+
+    NUM_STEPS_CURRENT_ROUND = "NUM_STEPS_CURRENT_ROUND"
+    INITIAL_METRICS = "INITIAL_METRICS"
+    VALIDATION_METRICS = "VALIDATION_METRICS"
+    CLIENT_NAME = "CLIENT_NAME"
+    CURRENT_ROUND = "CURRENT_ROUND"
+
+
+class DXO:
+    """A typed payload: ``data_kind`` + dict of arrays/scalars + metadata."""
+
+    def __init__(self, data_kind: str, data: Mapping[str, Any],
+                 meta: Mapping[str, Any] | None = None) -> None:
+        if not isinstance(data, Mapping):
+            raise TypeError("DXO data must be a mapping")
+        self.data_kind = data_kind
+        self.data: dict[str, Any] = dict(data)
+        self.meta: dict[str, Any] = dict(meta or {})
+
+    # ------------------------------------------------------------------
+    def get_meta_prop(self, key: str, default: Any = None) -> Any:
+        return self.meta.get(key, default)
+
+    def set_meta_prop(self, key: str, value: Any) -> None:
+        self.meta[key] = value
+
+    def validate(self) -> None:
+        """Sanity-check payload against its declared kind."""
+        known = {DataKind.WEIGHTS, DataKind.WEIGHT_DIFF, DataKind.METRICS, DataKind.COLLECTION}
+        if self.data_kind not in known:
+            raise ValueError(f"unknown data_kind {self.data_kind!r}")
+        if self.data_kind in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            for key, value in self.data.items():
+                if not isinstance(value, np.ndarray):
+                    raise TypeError(f"{self.data_kind} entry {key!r} is not an ndarray")
+
+    # ------------------------------------------------------------------
+    # wire codec: [magic][u32 json_len][json header][npz tensors]
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        arrays: dict[str, np.ndarray] = {}
+        scalars: dict[str, Any] = {}
+        for key, value in self.data.items():
+            if isinstance(value, np.ndarray):
+                arrays[key] = value
+            elif isinstance(value, (int, float, str, bool, list, dict, type(None))):
+                scalars[key] = value
+            elif isinstance(value, (np.integer, np.floating)):
+                scalars[key] = value.item()
+            else:
+                raise TypeError(f"cannot serialize data entry {key!r} of type {type(value)!r}")
+        header = json.dumps({
+            "data_kind": self.data_kind,
+            "meta": self.meta,
+            "scalars": scalars,
+            "array_keys": sorted(arrays),
+        }).encode("utf-8")
+        tensor_block = b""
+        if arrays:
+            buffer = io.BytesIO()
+            # npz forbids "/" etc. in member names only loosely; keys here are
+            # model parameter names which np.savez accepts verbatim.
+            np.savez(buffer, **arrays)
+            tensor_block = buffer.getvalue()
+        return _MAGIC + struct.pack("<I", len(header)) + header + tensor_block
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "DXO":
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a DXO blob (bad magic)")
+        (header_len,) = struct.unpack("<I", blob[4:8])
+        header = json.loads(blob[8:8 + header_len].decode("utf-8"))
+        data: dict[str, Any] = dict(header["scalars"])
+        tensor_block = blob[8 + header_len:]
+        if header["array_keys"]:
+            with np.load(io.BytesIO(tensor_block), allow_pickle=False) as archive:
+                for key in header["array_keys"]:
+                    data[key] = archive[key].copy()
+        return cls(data_kind=header["data_kind"], data=data, meta=header["meta"])
+
+    def __repr__(self) -> str:
+        return f"DXO(kind={self.data_kind}, keys={sorted(self.data)[:4]}..., meta={sorted(self.meta)})"

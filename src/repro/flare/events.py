@@ -1,0 +1,103 @@
+"""FLComponent: event handling + structured logging for framework parts.
+
+Every server/client/workflow object derives from :class:`FLComponent`; the
+owner fires events (round started, aggregation done, ...) down its component
+tree and components log through a shared, timestamped logger whose format
+matches the NVFlare simulator output shown in the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from .fl_context import FLContext
+
+__all__ = ["FLComponent", "get_fl_logger", "LogCapture", "set_console_level"]
+
+_LOGGER_NAME = "repro.flare"
+_FORMAT = "%(asctime)s,%(msecs)03d - %(component)s - %(levelname)s - %(message)s"
+_DATEFMT = "%Y-%m-%d %H:%M:%S"
+
+
+def get_fl_logger() -> logging.Logger:
+    """The framework logger (configured once, NVFlare-style format)."""
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.set_name("fl-console")
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+def set_console_level(level: int) -> None:
+    """Adjust only the console handler; LogCapture handlers keep seeing INFO.
+
+    Lets experiments run quietly while the Fig. 3 transcript is still
+    captured in full.
+    """
+    for handler in get_fl_logger().handlers:
+        if handler.get_name() == "fl-console":
+            handler.setLevel(level)
+
+
+class LogCapture(logging.Handler):
+    """Collects formatted framework log lines (used to render Fig. 3)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lines: list[str] = []
+        self.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+
+    def emit(self, record: logging.LogRecord) -> None:
+        if not hasattr(record, "component"):
+            record.component = record.name
+        self.lines.append(self.format(record))
+
+    def attach(self) -> "LogCapture":
+        get_fl_logger().addHandler(self)
+        return self
+
+    def detach(self) -> None:
+        get_fl_logger().removeHandler(self)
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class FLComponent:
+    """Base class: named component with event hooks and logging helpers."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__
+        self._logger = get_fl_logger()
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def handle_event(self, event_type: str, fl_ctx: FLContext) -> None:
+        """Override to react to framework events; default is a no-op."""
+
+    def fire_event(self, event_type: str, fl_ctx: FLContext,
+                   targets: list["FLComponent"] | None = None) -> None:
+        """Deliver ``event_type`` to ``targets`` (or just this component)."""
+        for component in (targets if targets is not None else [self]):
+            component.handle_event(event_type, fl_ctx)
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def _log(self, level: int, message: str, *args: Any) -> None:
+        self._logger.log(level, message, *args, extra={"component": self.name})
+
+    def log_info(self, message: str, *args: Any) -> None:
+        self._log(logging.INFO, message, *args)
+
+    def log_warning(self, message: str, *args: Any) -> None:
+        self._log(logging.WARNING, message, *args)
+
+    def log_error(self, message: str, *args: Any) -> None:
+        self._log(logging.ERROR, message, *args)

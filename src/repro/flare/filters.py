@@ -1,0 +1,137 @@
+"""Privacy and hygiene filters applied to DXOs in transit.
+
+NVFlare lets jobs declare filter chains on task data and task results; the
+standard privacy filters are reproduced here: variable exclusion, Gaussian
+noise (differential-privacy style), percentile clipping (NVFlare's
+``PercentilePrivacy``) and global-norm clipping.  Filters transform *weight
+diffs or weights leaving a client*, which is where the privacy boundary sits.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+import numpy as np
+
+from .constants import DataKind
+from .dxo import DXO
+from .events import FLComponent
+from .fl_context import FLContext
+
+__all__ = ["DXOFilter", "ExcludeVars", "GaussianPrivacy", "PercentilePrivacy",
+           "NormClipPrivacy", "FilterChain"]
+
+
+class DXOFilter(FLComponent):
+    """Transform a DXO; return the (possibly replaced) DXO."""
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        raise NotImplementedError
+
+
+class FilterChain(DXOFilter):
+    """Apply a sequence of filters in order."""
+
+    def __init__(self, filters: list[DXOFilter], name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.filters = list(filters)
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        for item in self.filters:
+            dxo = item.process(dxo, fl_ctx)
+        return dxo
+
+
+class ExcludeVars(DXOFilter):
+    """Drop parameters whose names match any of the glob patterns.
+
+    Typical use: keep site-specific heads local (``"head.*"``).
+    """
+
+    def __init__(self, patterns: list[str], name: str | None = None) -> None:
+        super().__init__(name=name)
+        if not patterns:
+            raise ValueError("ExcludeVars needs at least one pattern")
+        self.patterns = list(patterns)
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        kept = {key: value for key, value in dxo.data.items()
+                if not any(fnmatch.fnmatch(key, pattern) for pattern in self.patterns)}
+        dropped = len(dxo.data) - len(kept)
+        if dropped:
+            self.log_info("excluded %d variable(s)", dropped)
+        return DXO(data_kind=dxo.data_kind, data=kept, meta=dict(dxo.meta))
+
+
+class GaussianPrivacy(DXOFilter):
+    """Add zero-mean Gaussian noise scaled to each tensor's value range."""
+
+    def __init__(self, sigma0: float = 0.1, seed: int = 0, name: str | None = None) -> None:
+        super().__init__(name=name)
+        if sigma0 < 0:
+            raise ValueError("sigma0 must be non-negative")
+        self.sigma0 = sigma0
+        self._rng = np.random.default_rng(seed)
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        if self.sigma0 == 0 or dxo.data_kind not in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            return dxo
+        noisy: dict[str, np.ndarray] = {}
+        for key, value in dxo.data.items():
+            value = np.asarray(value)
+            spread = float(np.max(np.abs(value))) if value.size else 0.0
+            noise = self._rng.normal(0.0, self.sigma0 * max(spread, 1e-12), size=value.shape)
+            noisy[key] = (value + noise).astype(value.dtype)
+        return DXO(data_kind=dxo.data_kind, data=noisy, meta=dict(dxo.meta))
+
+
+class PercentilePrivacy(DXOFilter):
+    """Clamp each tensor to the [percentile, 100-percentile] magnitude band.
+
+    The NVFlare ``PercentilePrivacy`` filter: outlying updates — the most
+    identifying ones — are truncated.
+    """
+
+    def __init__(self, percentile: float = 10.0, name: str | None = None) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= percentile < 50.0:
+            raise ValueError("percentile must be in [0, 50)")
+        self.percentile = percentile
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        if dxo.data_kind not in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            return dxo
+        clipped: dict[str, np.ndarray] = {}
+        for key, value in dxo.data.items():
+            value = np.asarray(value)
+            if value.size < 2:
+                clipped[key] = value
+                continue
+            low = np.percentile(value, self.percentile)
+            high = np.percentile(value, 100.0 - self.percentile)
+            clipped[key] = np.clip(value, low, high).astype(value.dtype)
+        return DXO(data_kind=dxo.data_kind, data=clipped, meta=dict(dxo.meta))
+
+
+class NormClipPrivacy(DXOFilter):
+    """Scale the whole update so its global L2 norm is at most ``max_norm``."""
+
+    def __init__(self, max_norm: float, name: str | None = None) -> None:
+        super().__init__(name=name)
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def process(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        if dxo.data_kind not in (DataKind.WEIGHTS, DataKind.WEIGHT_DIFF):
+            return dxo
+        total = 0.0
+        for value in dxo.data.values():
+            total += float(np.sum(np.asarray(value, dtype=np.float64) ** 2))
+        norm = np.sqrt(total)
+        if norm <= self.max_norm or norm == 0:
+            return dxo
+        scale = self.max_norm / norm
+        scaled = {key: (np.asarray(value) * scale).astype(np.asarray(value).dtype)
+                  for key, value in dxo.data.items()}
+        return DXO(data_kind=dxo.data_kind, data=scaled, meta=dict(dxo.meta))

@@ -1,0 +1,52 @@
+"""FLContext: the property bag threaded through every framework call.
+
+Mirrors NVFlare's ``FLContext``: components communicate side-band data
+(current round, client name, run directory, peer properties) without
+widening method signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FLContext"]
+
+
+class FLContext:
+    """A mutable key → value property store with an identity and peer view."""
+
+    def __init__(self, identity: str = "", job_id: str = "") -> None:
+        self.identity = identity
+        self.job_id = job_id
+        self._props: dict[str, Any] = {}
+        self._peer_props: dict[str, Any] = {}
+
+    def set_prop(self, key: str, value: Any) -> None:
+        self._props[key] = value
+
+    def get_prop(self, key: str, default: Any = None) -> Any:
+        return self._props.get(key, default)
+
+    def remove_prop(self, key: str) -> None:
+        self._props.pop(key, None)
+
+    def set_peer_prop(self, key: str, value: Any) -> None:
+        self._peer_props[key] = value
+
+    def get_peer_prop(self, key: str, default: Any = None) -> Any:
+        return self._peer_props.get(key, default)
+
+    def props(self) -> dict[str, Any]:
+        """A copy of all properties (for logging/inspection)."""
+        return dict(self._props)
+
+    def clone(self, identity: str | None = None) -> "FLContext":
+        """A shallow copy, optionally re-identified (server → client hop)."""
+        ctx = FLContext(identity=identity if identity is not None else self.identity,
+                        job_id=self.job_id)
+        ctx._props = dict(self._props)
+        ctx._peer_props = dict(self._peer_props)
+        return ctx
+
+    def __repr__(self) -> str:
+        return f"FLContext(identity={self.identity!r}, job_id={self.job_id!r}, props={sorted(self._props)})"

@@ -1,0 +1,66 @@
+"""Job configuration: the declarative recipe a simulator run executes.
+
+Mirrors an NVFlare job folder (config_fed_server.json / config_fed_client
+.json): which workflow, how many rounds, which aggregator, which filters —
+plus a learner factory that plays the role of the client executor config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .aggregators import Aggregator, InTimeAccumulateWeightedAggregator
+from .constants import DataKind
+from .filters import DXOFilter
+from .learner import Learner
+
+__all__ = ["FLJob"]
+
+LearnerFactory = Callable[[str], Learner]
+Evaluator = Callable[[dict[str, np.ndarray]], dict[str, float]]
+
+
+@dataclass
+class FLJob:
+    """Everything needed to run one federated job.
+
+    Parameters
+    ----------
+    name:
+        Job identifier (used for the run directory).
+    initial_weights:
+        The round-0 global model state dict.
+    learner_factory:
+        ``client_name -> Learner``; called once per site at registration.
+    num_rounds:
+        E communication rounds.
+    evaluator:
+        Optional server-side validation of each aggregated model.
+    aggregator_factory:
+        Builds the server aggregator (default: weighted FedAvg on WEIGHTS).
+    task_result_filters / server_result_filters:
+        Client-side and server-side DXO filter chains.
+    min_clients:
+        Minimum usable results per round.
+    """
+
+    name: str
+    initial_weights: dict[str, np.ndarray]
+    learner_factory: LearnerFactory
+    num_rounds: int = 10
+    evaluator: Evaluator | None = None
+    aggregator_factory: Callable[[], Aggregator] = field(
+        default=lambda: InTimeAccumulateWeightedAggregator(
+            expected_data_kind=DataKind.WEIGHTS))
+    task_result_filters: list[DXOFilter] = field(default_factory=list)
+    server_result_filters: list[DXOFilter] = field(default_factory=list)
+    min_clients: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if not self.initial_weights:
+            raise ValueError("initial_weights must be non-empty")

@@ -1,0 +1,53 @@
+"""Model persistor: checkpoints the global model each round, tracks the best.
+
+Matches the paper's Fig. 3 log stage "Start/End persist model on server."
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..autograd.serialization import load_state_dict, save_state_dict
+from .events import FLComponent
+from .fl_context import FLContext
+
+__all__ = ["ModelPersistor"]
+
+
+class ModelPersistor(FLComponent):
+    """Writes global-model checkpoints under a run directory."""
+
+    def __init__(self, run_dir: str | Path, name: str | None = None) -> None:
+        super().__init__(name=name)
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.best_metric: float | None = None
+        self.best_path: Path | None = None
+        self.last_path: Path | None = None
+
+    def save(self, weights: dict[str, np.ndarray], fl_ctx: FLContext,
+             metric: float | None = None) -> Path:
+        """Persist the latest model; also update the best checkpoint."""
+        round_number = fl_ctx.get_prop("current_round", 0)
+        self.log_info("Start persist model on server.")
+        self.last_path = save_state_dict(weights, self.run_dir / "FL_global_model")
+        if metric is not None and (self.best_metric is None or metric > self.best_metric):
+            self.best_metric = metric
+            self.best_path = save_state_dict(weights, self.run_dir / "best_FL_global_model")
+            self.log_info("new best global model at round %s: metric=%.4f",
+                          round_number, metric)
+        self.log_info("End persist model on server.")
+        return self.last_path
+
+    def load_last(self) -> dict[str, np.ndarray]:
+        if self.last_path is None:
+            raise FileNotFoundError("no checkpoint saved yet")
+        return dict(load_state_dict(self.last_path))
+
+    def load_best(self) -> dict[str, np.ndarray]:
+        path = self.best_path or self.last_path
+        if path is None:
+            raise FileNotFoundError("no checkpoint saved yet")
+        return dict(load_state_dict(path))

@@ -1,0 +1,101 @@
+"""FLServer: client manager (authentication) + the server side of the bus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import EventType, ReservedKey
+from .events import FLComponent
+from .fl_context import FLContext
+from .provision import StartupKit, make_join_token
+from .security import Certificate, verify
+from .shareable import Shareable
+from .transport import MessageBus
+
+__all__ = ["FLServer", "AuthenticationError"]
+
+_STOP_TOPIC = "__stop__"
+
+
+class AuthenticationError(RuntimeError):
+    """Raised when a client fails the registration handshake."""
+
+
+class FLServer(FLComponent):
+    """Holds registered clients, issues tokens and sends/collects tasks."""
+
+    def __init__(self, kit: StartupKit, bus: MessageBus, project_name: str = "",
+                 seed: int = 0) -> None:
+        super().__init__(name=kit.participant.name)
+        self.kit = kit
+        self.bus = bus
+        self.project_name = project_name or kit.project_name
+        self.fl_ctx = FLContext(identity=self.name)
+        self.tokens: dict[str, str] = {}
+        self._nonces: dict[str, bytes] = {}
+        self._rng = np.random.default_rng(seed)
+        bus.register_endpoint(self.name)
+        # the server trusts itself immediately: install its own session key
+        server_token = make_join_token(self._rng)
+        from .client import session_key_from_token
+
+        bus.install_session_key(self.name, session_key_from_token(server_token))
+
+    # ------------------------------------------------------------------
+    # registration handshake
+    # ------------------------------------------------------------------
+    def issue_nonce(self, client_name: str) -> bytes:
+        """Step 1: hand the joining client a fresh challenge."""
+        nonce = self._rng.bytes(32)
+        self._nonces[client_name] = nonce
+        return nonce
+
+    def register_client(self, certificate: Certificate, nonce: bytes, proof: int) -> str:
+        """Steps 2-3: verify certificate + proof-of-key, issue a join token."""
+        name = certificate.subject
+        expected = self._nonces.pop(name, None)
+        if expected is None or expected != nonce:
+            raise AuthenticationError(f"no outstanding nonce for {name!r}")
+        # certificate must chain to the project CA
+        ca_check = verify(certificate.payload_bytes(), certificate.signature,
+                          self.kit.ca_public_key)
+        if not ca_check:
+            raise AuthenticationError(f"certificate of {name!r} not signed by project CA")
+        if not verify(nonce, proof, certificate.public_key):
+            raise AuthenticationError(f"{name!r} failed proof-of-possession")
+        token = make_join_token(self._rng)
+        self.tokens[name] = token
+        from .client import session_key_from_token
+
+        self.bus.register_endpoint(name)
+        self.bus.install_session_key(name, session_key_from_token(token))
+        self.log_info(
+            "Client: New client %s@127.0.0.1 joined. Sent token: %s. Total clients: %d",
+            name, token, len(self.tokens))
+        self.fire_event(EventType.CLIENT_REGISTERED, self.fl_ctx)
+        return token
+
+    # ------------------------------------------------------------------
+    # task fan-out / collection
+    # ------------------------------------------------------------------
+    def broadcast_task(self, task_name: str, shareable: Shareable,
+                       targets: list[str]) -> None:
+        for target in targets:
+            if target not in self.tokens:
+                raise AuthenticationError(f"client {target!r} is not registered")
+            task = Shareable(shareable)  # shallow copy per recipient
+            task.set_header(ReservedKey.TASK_NAME, task_name)
+            self.bus.send_shareable(self.name, target, task_name, task)
+
+    def collect_results(self, expected: int, timeout: float = 600.0
+                        ) -> list[tuple[str, Shareable]]:
+        """Block until ``expected`` task results arrive."""
+        results: list[tuple[str, Shareable]] = []
+        for _ in range(expected):
+            sender, _topic, shareable = self.bus.receive(self.name, timeout=timeout)
+            results.append((sender, shareable))
+        return results
+
+    def stop_clients(self, targets: list[str]) -> None:
+        for target in targets:
+            self.bus.send_shareable(self.name, target, _STOP_TOPIC, Shareable())

@@ -1,0 +1,61 @@
+"""Shareable: the task/result envelope exchanged between server and clients."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .constants import ReservedKey, ReturnCode
+from .dxo import DXO
+
+__all__ = ["Shareable", "make_reply", "from_dxo", "to_dxo"]
+
+
+class Shareable(dict):
+    """A dict with well-known header helpers (NVFlare's task envelope).
+
+    The DXO payload, when present, lives under the ``"DXO"`` key as bytes so
+    that a Shareable is always transport-ready.
+    """
+
+    def set_header(self, key: str, value: Any) -> None:
+        self[key] = value
+
+    def get_header(self, key: str, default: Any = None) -> Any:
+        return self.get(key, default)
+
+    @property
+    def return_code(self) -> str:
+        return self.get(ReservedKey.RETURN_CODE, ReturnCode.OK)
+
+    def set_return_code(self, code: str) -> None:
+        self[ReservedKey.RETURN_CODE] = code
+
+    @property
+    def task_name(self) -> str | None:
+        return self.get(ReservedKey.TASK_NAME)
+
+    @property
+    def current_round(self) -> int | None:
+        return self.get(ReservedKey.ROUND_NUMBER)
+
+
+def from_dxo(dxo: DXO) -> Shareable:
+    """Wrap a DXO (serialized) in a fresh Shareable."""
+    shareable = Shareable()
+    shareable["DXO"] = dxo.to_bytes()
+    return shareable
+
+
+def to_dxo(shareable: Shareable) -> DXO:
+    """Extract and decode the DXO payload of a Shareable."""
+    blob = shareable.get("DXO")
+    if blob is None:
+        raise ValueError("shareable carries no DXO payload")
+    return DXO.from_bytes(blob)
+
+
+def make_reply(code: str) -> Shareable:
+    """A payload-less reply carrying only a return code."""
+    reply = Shareable()
+    reply.set_return_code(code)
+    return reply

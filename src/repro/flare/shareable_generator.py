@@ -1,0 +1,52 @@
+"""Shareable generators: model weights ↔ task shareables.
+
+NVFlare's ``FullModelShareableGenerator``: the controller hands it the global
+model to wrap into the round's task data, and hands the aggregated DXO back
+to produce the next global model (applying diffs when the round exchanged
+WEIGHT_DIFF payloads).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .constants import DataKind, ReservedKey
+from .dxo import DXO
+from .events import FLComponent
+from .fl_context import FLContext
+from .shareable import Shareable, from_dxo, to_dxo
+
+__all__ = ["FullModelShareableGenerator"]
+
+
+class FullModelShareableGenerator(FLComponent):
+    """Bidirectional conversion between weight dicts and Shareables."""
+
+    def learnable_to_shareable(self, weights: dict[str, np.ndarray],
+                               fl_ctx: FLContext) -> Shareable:
+        """Wrap the full global model as the round's task payload."""
+        dxo = DXO(data_kind=DataKind.WEIGHTS,
+                  data={key: np.asarray(value) for key, value in weights.items()})
+        shareable = from_dxo(dxo)
+        shareable.set_header(ReservedKey.ROUND_NUMBER,
+                             fl_ctx.get_prop(ReservedKey.CURRENT_ROUND, 0))
+        return shareable
+
+    def shareable_to_learnable(self, shareable: Shareable,
+                               current: dict[str, np.ndarray],
+                               fl_ctx: FLContext) -> dict[str, np.ndarray]:
+        """Produce the next global model from an aggregated result."""
+        dxo = to_dxo(shareable)
+        return self.dxo_to_learnable(dxo, current)
+
+    def dxo_to_learnable(self, dxo: DXO,
+                         current: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        if dxo.data_kind == DataKind.WEIGHTS:
+            return {key: np.asarray(value) for key, value in dxo.data.items()}
+        if dxo.data_kind == DataKind.WEIGHT_DIFF:
+            missing = set(dxo.data) - set(current)
+            if missing:
+                raise KeyError(f"diff refers to unknown parameters: {sorted(missing)[:3]}")
+            return {key: np.asarray(current[key]) + np.asarray(dxo.data.get(key, 0.0))
+                    for key in current}
+        raise ValueError(f"cannot build a model from data kind {dxo.data_kind!r}")

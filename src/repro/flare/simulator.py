@@ -1,0 +1,176 @@
+"""SimulatorRunner: run a whole federated job in one process.
+
+Reproduces NVFlare's simulator (the mode the paper's demonstration uses):
+provision the project, create the simulated clients, register them against
+the server with the token handshake, serve each client on its own thread,
+run the ScatterAndGather workflow, and return the final/best models with the
+collected statistics and the captured log transcript (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .client import FederatedClient
+from .controller import ScatterAndGather
+from .events import LogCapture
+from .fl_context import FLContext
+from .job import FLJob
+from .persistor import ModelPersistor
+from .provision import Provisioner, default_project
+from .server import FLServer
+from .stats import RunStats
+from .transport import MessageBus
+
+__all__ = ["SimulatorRunner", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated federated run."""
+
+    final_weights: dict[str, np.ndarray]
+    best_weights: dict[str, np.ndarray]
+    stats: RunStats
+    tokens: dict[str, str]
+    run_dir: Path
+    log_text: str = ""
+    cross_site: dict = field(default_factory=dict)
+
+
+class SimulatorRunner:
+    """Single-process federated simulation with threaded clients."""
+
+    def __init__(self, job: FLJob, n_clients: int = 8, seed: int = 0,
+                 run_dir: str | Path | None = None, threads: bool = True,
+                 capture_log: bool = True, key_bits: int = 512,
+                 max_parallel: int = 2) -> None:
+        if n_clients <= 0:
+            raise ValueError("n_clients must be positive")
+        if max_parallel <= 0:
+            raise ValueError("max_parallel must be positive")
+        self.job = job
+        self.n_clients = n_clients
+        self.seed = seed
+        self.threads = threads
+        self.capture_log = capture_log
+        self.key_bits = key_bits
+        # NVFlare's simulator multiplexes N clients over T threads; here all
+        # clients have their own thread but at most ``max_parallel`` execute
+        # a task at once, bounding peak training memory.
+        self.max_parallel = max_parallel
+        self.run_dir = Path(run_dir) if run_dir is not None else Path(
+            tempfile.mkdtemp(prefix=f"fl-{job.name}-"))
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Provision, register, train, tear down."""
+        capture = LogCapture().attach() if self.capture_log else None
+        try:
+            return self._run_inner(capture)
+        finally:
+            if capture is not None:
+                capture.detach()
+
+    # ------------------------------------------------------------------
+    def _run_inner(self, capture: LogCapture | None) -> SimulationResult:
+        project = default_project(n_clients=self.n_clients, name=self.job.name)
+        provisioner = Provisioner(project, seed=self.seed, key_bits=self.key_bits)
+        kits = provisioner.provision()
+
+        bus = MessageBus()
+        server = FLServer(kits["server"], bus, seed=self.seed)
+        server.log_info("Create the simulate clients.")
+
+        gate = threading.Semaphore(self.max_parallel)
+        clients: list[FederatedClient] = []
+        for spec in project.clients:
+            learner = self.job.learner_factory(spec.name)
+            client = FederatedClient(
+                kits[spec.name], learner, bus,
+                task_result_filters=self.job.task_result_filters)
+            client.task_semaphore = gate
+            client.register(server)
+            client.log_info(
+                "Successfully registered client:%s for project simulator_server. Token:%s",
+                spec.name, client.token)
+            clients.append(client)
+
+        if self.threads:
+            for client in clients:
+                client.serve_in_thread()
+
+        persistor = ModelPersistor(self.run_dir / "models")
+        controller = ScatterAndGather(
+            server=server,
+            client_names=[client.name for client in clients],
+            initial_weights=self.job.initial_weights,
+            aggregator=self.job.aggregator_factory(),
+            persistor=persistor,
+            num_rounds=self.job.num_rounds,
+            evaluator=self.job.evaluator,
+            result_filters=self.job.server_result_filters,
+            min_clients=self.job.min_clients,
+        )
+
+        try:
+            if self.threads:
+                stats = controller.run()
+            else:
+                stats = self._run_sequential(controller, clients)
+        finally:
+            if self.threads:
+                server.stop_clients([client.name for client in clients])
+                for client in clients:
+                    client.stop()
+
+        final_weights = controller.global_weights
+        try:
+            best_weights = persistor.load_best()
+        except FileNotFoundError:
+            best_weights = dict(final_weights)
+        return SimulationResult(
+            final_weights=final_weights,
+            best_weights=best_weights,
+            stats=stats,
+            tokens=dict(server.tokens),
+            run_dir=self.run_dir,
+            log_text=capture.text() if capture is not None else "",
+        )
+
+    # ------------------------------------------------------------------
+    def _run_sequential(self, controller: ScatterAndGather,
+                        clients: list[FederatedClient]) -> RunStats:
+        """Deterministic single-thread mode: interleave controller and clients.
+
+        The controller's collect step blocks, so in sequential mode each
+        round is driven manually: broadcast happens inside the controller,
+        after which every client polls exactly once per round.
+        """
+        # Sequential execution re-uses the threaded controller by running the
+        # clients' poll loops from a round-boundary event hook.
+        from .constants import EventType
+
+        class _PollClients:
+            def handle_event(self, event_type: str, fl_ctx: FLContext) -> None:
+                if event_type == EventType.TASKS_BROADCAST:
+                    for client in clients:
+                        # only clients actually tasked this round (the
+                        # controller may sample a subset) have a message
+                        if client.bus.pending(client.name):
+                            client.poll_once(timeout=5.0)
+
+        hook = _PollClients()
+        original_fire = controller.fire_event
+
+        def fire_and_poll(event_type: str, fl_ctx, targets=None) -> None:
+            original_fire(event_type, fl_ctx, targets)
+            hook.handle_event(event_type, fl_ctx)
+
+        controller.fire_event = fire_and_poll  # type: ignore[method-assign]
+        return controller.run()

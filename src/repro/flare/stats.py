@@ -1,0 +1,110 @@
+"""Run statistics: per-round and per-client metrics plus timings.
+
+The source of the numbers the paper reports: Table III accuracies, Fig. 2
+loss curves and the "12.7 sec/local epoch" observation all come out of a
+structure like this.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ClientRoundRecord", "RoundRecord", "RunStats"]
+
+
+@dataclass
+class ClientRoundRecord:
+    """One client's contribution to one round."""
+
+    client: str
+    round_number: int
+    train_loss: float
+    valid_acc: float
+    num_steps: int
+    seconds: float
+
+
+@dataclass
+class RoundRecord:
+    """Aggregated view of one federated round."""
+
+    round_number: int
+    client_records: list[ClientRoundRecord] = field(default_factory=list)
+    global_metrics: dict[str, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+@dataclass
+class RunStats:
+    """Everything measured during a run."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+    messages_delivered: int = 0
+    bytes_delivered: int = 0
+
+    def add_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def global_metric_history(self, key: str) -> list[float]:
+        """The per-round trajectory of a server-side metric."""
+        return [r.global_metrics[key] for r in self.rounds if key in r.global_metrics]
+
+    def best_global_metric(self, key: str) -> float:
+        history = self.global_metric_history(key)
+        if not history:
+            raise KeyError(f"no global metric {key!r} recorded")
+        return max(history)
+
+    def final_global_metric(self, key: str) -> float:
+        history = self.global_metric_history(key)
+        if not history:
+            raise KeyError(f"no global metric {key!r} recorded")
+        return history[-1]
+
+    def mean_seconds_per_local_epoch(self) -> float:
+        """Average wall-clock per client local-train call (cf. "12.7 sec")."""
+        seconds = [c.seconds for r in self.rounds for c in r.client_records]
+        return float(np.mean(seconds)) if seconds else 0.0
+
+    def client_metric_history(self, client: str) -> list[ClientRoundRecord]:
+        return [c for r in self.rounds for c in r.client_records if c.client == client]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe dump of everything measured."""
+        return {
+            "messages_delivered": self.messages_delivered,
+            "bytes_delivered": self.bytes_delivered,
+            "rounds": [asdict(record) for record in self.rounds],
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the stats to ``path`` as pretty-printed JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=float))
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunStats":
+        stats = cls(messages_delivered=payload.get("messages_delivered", 0),
+                    bytes_delivered=payload.get("bytes_delivered", 0))
+        for round_payload in payload.get("rounds", []):
+            clients = [ClientRoundRecord(**c)
+                       for c in round_payload.get("client_records", [])]
+            stats.add_round(RoundRecord(
+                round_number=round_payload["round_number"],
+                client_records=clients,
+                global_metrics=dict(round_payload.get("global_metrics", {})),
+                seconds=round_payload.get("seconds", 0.0)))
+        return stats

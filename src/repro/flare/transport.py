@@ -1,0 +1,134 @@
+"""In-memory transport: queues + signed, serialized messages.
+
+Plays the role of NVFlare's gRPC/TLS channel in the simulator.  Every
+message body is real bytes (the Shareable's DXO payload is npz-encoded) and
+carries an HMAC-SHA256 tag under the session key established at
+registration, so the protocol steps — serialize, sign, enqueue, dequeue,
+verify, deserialize — all actually run.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from .constants import ReservedKey
+from .security import hmac_sign, hmac_verify
+from .shareable import Shareable
+
+__all__ = ["Message", "MessageBus", "TransportError"]
+
+
+class TransportError(RuntimeError):
+    """Raised on signature failures or undeliverable messages."""
+
+
+@dataclass
+class Message:
+    """One envelope on the wire."""
+
+    sender: str
+    recipient: str
+    topic: str
+    body: bytes
+    signature: str = ""
+    headers: dict[str, Any] = field(default_factory=dict)
+
+    def signed_payload(self) -> bytes:
+        header_bytes = json.dumps(
+            {"sender": self.sender, "recipient": self.recipient, "topic": self.topic,
+             "headers": self.headers}, sort_keys=True).encode("utf-8")
+        return header_bytes + b"\x00" + self.body
+
+
+def _encode_shareable(shareable: Shareable) -> bytes:
+    """Shareable → bytes: JSON headers + raw DXO block."""
+    headers = {key: value for key, value in shareable.items() if key != "DXO"}
+    header_bytes = json.dumps(headers, sort_keys=True).encode("utf-8")
+    body = shareable.get("DXO", b"")
+    return len(header_bytes).to_bytes(4, "little") + header_bytes + body
+
+
+def _decode_shareable(blob: bytes) -> Shareable:
+    header_len = int.from_bytes(blob[:4], "little")
+    headers = json.loads(blob[4:4 + header_len].decode("utf-8"))
+    shareable = Shareable(headers)
+    body = blob[4 + header_len:]
+    if body:
+        shareable["DXO"] = body
+    return shareable
+
+
+class MessageBus:
+    """Per-participant queues with HMAC signing on every delivery.
+
+    Session keys are installed by the server when a client registers; traffic
+    to or from a participant without a key is rejected, which is how the
+    simulator enforces the "provision before train" ordering.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[str, "queue.Queue[Message]"] = {}
+        self._session_keys: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.delivered_count = 0
+        self.delivered_bytes = 0
+
+    # ------------------------------------------------------------------
+    def register_endpoint(self, name: str) -> None:
+        with self._lock:
+            self._queues.setdefault(name, queue.Queue())
+
+    def install_session_key(self, name: str, key: bytes) -> None:
+        with self._lock:
+            if name not in self._queues:
+                raise TransportError(f"unknown endpoint {name!r}")
+            self._session_keys[name] = key
+
+    def session_key(self, name: str) -> bytes | None:
+        with self._lock:
+            return self._session_keys.get(name)
+
+    # ------------------------------------------------------------------
+    def send_shareable(self, sender: str, recipient: str, topic: str,
+                       shareable: Shareable) -> None:
+        """Serialize, sign with the sender's session key and enqueue."""
+        key = self.session_key(sender)
+        if key is None:
+            raise TransportError(f"endpoint {sender!r} has no session key (not registered)")
+        body = _encode_shareable(shareable)
+        message = Message(sender=sender, recipient=recipient, topic=topic, body=body,
+                          headers={ReservedKey.CLIENT_NAME: sender})
+        message.signature = hmac_sign(message.signed_payload(), key)
+        with self._lock:
+            if recipient not in self._queues:
+                raise TransportError(f"unknown recipient {recipient!r}")
+            self._queues[recipient].put(message)
+            self.delivered_count += 1
+            self.delivered_bytes += len(body)
+
+    def receive(self, name: str, timeout: float | None = 10.0) -> tuple[str, str, Shareable]:
+        """Dequeue, verify signature, deserialize.
+
+        Returns ``(sender, topic, shareable)``.
+        """
+        with self._lock:
+            if name not in self._queues:
+                raise TransportError(f"unknown endpoint {name!r}")
+            q = self._queues[name]
+        try:
+            message = q.get(timeout=timeout)
+        except queue.Empty as error:
+            raise TransportError(f"no message for {name!r} within {timeout}s") from error
+        key = self.session_key(message.sender)
+        if key is None or not hmac_verify(message.signed_payload(), message.signature, key):
+            raise TransportError(
+                f"signature check failed for message {message.topic!r} from {message.sender!r}")
+        return message.sender, message.topic, _decode_shareable(message.body)
+
+    def pending(self, name: str) -> int:
+        with self._lock:
+            return self._queues[name].qsize() if name in self._queues else 0

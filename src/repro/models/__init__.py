@@ -1,0 +1,13 @@
+"""``repro.models`` — the paper's NLP models (Table II) and a factory."""
+
+from .bert import BertForMaskedLM, BertForSequenceClassification, BertModel
+from .config import BertConfig, LstmConfig, PRESETS, get_preset
+from .lstm import LstmClassifier
+from .registry import MODEL_NAMES, build_classifier, build_mlm_model
+
+__all__ = [
+    "BertModel", "BertForSequenceClassification", "BertForMaskedLM",
+    "LstmClassifier",
+    "BertConfig", "LstmConfig", "PRESETS", "get_preset",
+    "build_classifier", "build_mlm_model", "MODEL_NAMES",
+]

@@ -1,0 +1,112 @@
+"""BERT encoder and its task heads (classification, masked LM).
+
+The paper's "attentive" models: BERT (hidden 128, 6 heads, 12 layers) and
+BERT-mini (hidden 50, 2 heads, 6 layers), used both for masked-language-model
+pretraining (Fig. 2) and for ADR binary classification (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..nn import (
+    ClassificationHead,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    MLMHead,
+    PositionalEmbedding,
+    TransformerEncoder,
+    cls_pool,
+)
+from .config import BertConfig
+
+__all__ = ["BertModel", "BertForSequenceClassification", "BertForMaskedLM"]
+
+
+class BertModel(Module):
+    """Token + position embeddings followed by a transformer encoder stack."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_dim,
+                                         padding_idx=0, rng=rng)
+        self.position_embedding = PositionalEmbedding(config.max_seq_len,
+                                                      config.hidden_dim, rng=rng)
+        self.embed_norm = LayerNorm(config.hidden_dim)
+        self.embed_dropout = Dropout(config.dropout, rng=rng)
+        self.encoder = TransformerEncoder(
+            config.num_layers, config.hidden_dim, config.num_heads,
+            ffn_dim=config.ffn_dim, dropout=config.dropout, rng=rng)
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: np.ndarray | None = None) -> Tensor:
+        """Encode ``(batch, seq)`` token ids to ``(batch, seq, hidden)`` states."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        _, seq = input_ids.shape
+        embedded = self.token_embedding(input_ids) + self.position_embedding(seq)
+        embedded = self.embed_dropout(self.embed_norm(embedded))
+        return self.encoder(embedded, attention_mask=attention_mask)
+
+
+class BertForSequenceClassification(Module):
+    """BERT encoder + [CLS] pooling + classification head.
+
+    This is the fine-tuning model of the paper's Table III experiments
+    (binary ADR / treatment-failure detection).
+    """
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.bert = BertModel(config, rng=rng)
+        self.head = ClassificationHead(config.hidden_dim, config.num_classes,
+                                       dropout=config.dropout, rng=rng)
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: np.ndarray | None = None) -> Tensor:
+        hidden = self.bert(input_ids, attention_mask=attention_mask)
+        return self.head(cls_pool(hidden))
+
+    def load_encoder_weights(self, state: dict) -> int:
+        """Copy pretrained encoder weights (``bert.*`` keys) from ``state``.
+
+        Returns the number of parameter tensors loaded; classification-head
+        weights are left at their fresh initialisation, matching the standard
+        pretrain-then-finetune recipe.
+        """
+        own = dict(self.named_parameters())
+        loaded = 0
+        for name, value in state.items():
+            target = name if name.startswith("bert.") else f"bert.{name}"
+            if target in own and own[target].data.shape == np.asarray(value).shape:
+                own[target].data[...] = value
+                loaded += 1
+        return loaded
+
+
+class BertForMaskedLM(Module):
+    """BERT encoder + tied-weight MLM head (the Fig. 2 pretraining model)."""
+
+    def __init__(self, config: BertConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        self.bert = BertModel(config, rng=rng)
+        self.mlm_head = MLMHead(config.hidden_dim, config.vocab_size,
+                                tied_embedding=self.bert.token_embedding.weight, rng=rng)
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: np.ndarray | None = None) -> Tensor:
+        """Return ``(batch, seq, vocab)`` logits for masked-token prediction."""
+        hidden = self.bert(input_ids, attention_mask=attention_mask)
+        return self.mlm_head(hidden)
+
+    def encoder_state_dict(self) -> dict:
+        """State dict of just the encoder, for transfer into a classifier."""
+        return {name: value for name, value in self.state_dict().items()
+                if name.startswith("bert.")}

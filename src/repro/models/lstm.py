@@ -1,0 +1,42 @@
+"""The paper's "recursive" model: a multi-layer LSTM classifier.
+
+Table II: hidden dimension 128, 3 hidden layers.  The classifier reads the
+EHR code sequence through an embedding layer, runs the LSTM stack, takes the
+hidden state at the last valid position and maps it to class logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..nn import LSTM, Dropout, Embedding, Linear, last_valid_pool
+from .config import LstmConfig
+
+__all__ = ["LstmClassifier"]
+
+
+class LstmClassifier(Module):
+    """Embedding → stacked LSTM → last-valid-state pooling → linear logits."""
+
+    def __init__(self, config: LstmConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.config = config
+        embed_dim = config.embed_dim or config.hidden_dim
+        self.embedding = Embedding(config.vocab_size, embed_dim, padding_idx=0, rng=rng)
+        self.lstm = LSTM(embed_dim, config.hidden_dim, num_layers=config.num_layers,
+                         dropout=config.dropout, bidirectional=config.bidirectional,
+                         rng=rng)
+        self.dropout = Dropout(config.dropout, rng=rng)
+        out_width = config.hidden_dim * (2 if config.bidirectional else 1)
+        self.classifier = Linear(out_width, config.num_classes, rng=rng)
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: np.ndarray | None = None) -> Tensor:
+        """Return ``(batch, num_classes)`` logits for ``(batch, seq)`` token ids."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        embedded = self.embedding(input_ids)
+        outputs, _ = self.lstm(embedded, mask=attention_mask)
+        pooled = last_valid_pool(outputs, attention_mask)
+        return self.classifier(self.dropout(pooled))

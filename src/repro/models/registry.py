@@ -1,0 +1,38 @@
+"""Model factory keyed by preset name.
+
+Gives the experiment harness a single entry point:
+``build_classifier("lstm", vocab_size=...)`` etc., with deterministic
+initialisation from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module
+from .bert import BertForMaskedLM, BertForSequenceClassification
+from .config import BertConfig, LstmConfig, get_preset
+from .lstm import LstmClassifier
+
+__all__ = ["build_classifier", "build_mlm_model", "MODEL_NAMES"]
+
+MODEL_NAMES = ("bert", "bert-mini", "lstm", "bert-tiny", "lstm-tiny")
+
+
+def build_classifier(name: str, vocab_size: int, seed: int = 0, **overrides) -> Module:
+    """Build a sequence classifier for one of the Table II presets."""
+    config = get_preset(name, vocab_size, **overrides)
+    rng = np.random.default_rng(seed)
+    if isinstance(config, BertConfig):
+        return BertForSequenceClassification(config, rng=rng)
+    if isinstance(config, LstmConfig):
+        return LstmClassifier(config, rng=rng)
+    raise TypeError(f"unsupported config type {type(config)!r}")
+
+
+def build_mlm_model(name: str, vocab_size: int, seed: int = 0, **overrides) -> BertForMaskedLM:
+    """Build a masked-LM model; only the attentive (BERT) family supports MLM."""
+    config = get_preset(name, vocab_size, **overrides)
+    if not isinstance(config, BertConfig):
+        raise ValueError(f"preset {name!r} is not a BERT-family model; MLM needs one")
+    return BertForMaskedLM(config, rng=np.random.default_rng(seed))

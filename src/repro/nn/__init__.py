@@ -1,0 +1,18 @@
+"""``repro.nn`` — neural-network layers built on :mod:`repro.autograd`."""
+
+from .attention import MultiHeadSelfAttention
+from .container import Sequential
+from .dropout import Dropout
+from .embedding import Embedding, PositionalEmbedding
+from .heads import ClassificationHead, MLMHead, cls_pool, last_valid_pool, masked_mean_pool
+from .linear import Linear
+from .normalization import LayerNorm
+from .recurrent import LSTM, LSTMCell
+from .transformer import TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Linear", "Embedding", "PositionalEmbedding", "LayerNorm", "Dropout",
+    "MultiHeadSelfAttention", "TransformerEncoder", "TransformerEncoderLayer",
+    "LSTM", "LSTMCell", "Sequential",
+    "ClassificationHead", "MLMHead", "cls_pool", "masked_mean_pool", "last_valid_pool",
+]

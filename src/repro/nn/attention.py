@@ -1,0 +1,89 @@
+"""Multi-head scaled-dot-product self-attention (the BERT building block).
+
+Following the X-Transformers library the paper built on, the per-head width
+is independent of the model width: queries/keys/values project ``dim`` to
+``num_heads * head_dim`` and the output projects back to ``dim``.  This is
+what lets Table II's BERT use hidden dimension 128 with 6 heads (128 is not
+divisible by 6).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..autograd import Module, Tensor, functional as F
+from .dropout import Dropout
+from .linear import Linear
+
+__all__ = ["MultiHeadSelfAttention", "default_head_dim"]
+
+
+def default_head_dim(dim: int, num_heads: int) -> int:
+    """Per-head width used when none is given: ``ceil(dim / num_heads)``."""
+    return max(1, -(-dim // num_heads))
+
+
+class MultiHeadSelfAttention(Module):
+    """Self-attention over a ``(batch, seq, dim)`` input.
+
+    Parameters
+    ----------
+    dim:
+        Model width.
+    num_heads:
+        Number of attention heads (Table II: 6 for BERT, 2 for BERT-mini).
+    head_dim:
+        Width of each head; defaults to ``ceil(dim / num_heads)``.
+    dropout:
+        Dropout applied to the attention probabilities.
+    """
+
+    def __init__(self, dim: int, num_heads: int, head_dim: int | None = None,
+                 dropout: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_heads <= 0:
+            raise ValueError("num_heads must be positive")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = head_dim if head_dim is not None else default_head_dim(dim, num_heads)
+        inner = self.num_heads * self.head_dim
+        self.query = Linear(dim, inner, rng=rng)
+        self.key = Linear(dim, inner, rng=rng)
+        self.value = Linear(dim, inner, rng=rng)
+        self.out = Linear(inner, dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, seq, dim)`` input.
+        attention_mask:
+            Optional boolean ``(batch, seq)`` array; True marks *valid* tokens.
+            Padding positions are excluded from the softmax.
+        """
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            if mask.shape != (batch, seq):
+                raise ValueError(f"attention_mask shape {mask.shape} != {(batch, seq)}")
+            # broadcast over heads and query positions; mask out padded keys
+            blocked = ~mask[:, None, None, :]
+            scores = scores.masked_fill(np.broadcast_to(blocked, scores.shape), -1e9)
+        probs = self.attn_dropout(F.softmax(scores, axis=-1))
+        context = probs @ v  # (batch, heads, seq, head_dim)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.num_heads * self.head_dim)
+        return self.out(merged)

@@ -1,0 +1,29 @@
+"""Generic containers: Sequential."""
+
+from __future__ import annotations
+
+from ..autograd import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Apply sub-modules in order, feeding each output to the next."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: list[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._ordered.append(module)
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._ordered[index]

@@ -1,0 +1,26 @@
+"""Dropout layer with its own reproducible random stream."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Tensor, functional as F
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout; active only while the module is in training mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,67 @@
+"""Token and position embedding layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor, functional as F, init
+
+__all__ = ["Embedding", "PositionalEmbedding"]
+
+
+class Embedding(Module):
+    """Learned lookup table mapping integer ids to dense vectors.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Vocabulary size.
+    embedding_dim:
+        Vector width.
+    padding_idx:
+        Optional id whose vector is initialised to (and kept near) zero; its
+        gradient contributions are zeroed after each backward by the caller's
+        optimiser step being a no-op on a zero row in practice — we simply
+        initialise it to zero, matching common practice.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 padding_idx: int | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("embedding dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        table = init.normal((num_embeddings, embedding_dim), rng, std=0.02)
+        if padding_idx is not None:
+            table[padding_idx] = 0.0
+        self.weight = Parameter(table)
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= self.num_embeddings):
+            raise IndexError(f"token id out of range [0, {self.num_embeddings})")
+        return F.embedding(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"
+
+
+class PositionalEmbedding(Module):
+    """Learned absolute position embeddings (as in BERT)."""
+
+    def __init__(self, max_len: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.max_len = max_len
+        self.weight = Parameter(init.normal((max_len, embedding_dim), rng, std=0.02))
+
+    def forward(self, seq_len: int) -> Tensor:
+        """Return ``(seq_len, dim)`` position vectors for positions 0..seq_len-1."""
+        if seq_len > self.max_len:
+            raise ValueError(f"sequence length {seq_len} exceeds max_len {self.max_len}")
+        return self.weight[np.arange(seq_len)]

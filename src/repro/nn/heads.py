@@ -1,0 +1,87 @@
+"""Output heads: sequence pooling, classification and masked-LM heads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor, functional as F
+from .dropout import Dropout
+from .linear import Linear
+from .normalization import LayerNorm
+
+__all__ = ["ClassificationHead", "MLMHead", "masked_mean_pool", "cls_pool", "last_valid_pool"]
+
+
+def cls_pool(hidden: Tensor) -> Tensor:
+    """Return the first-position ([CLS]) vector: ``(batch, dim)``."""
+    return hidden[:, 0, :]
+
+
+def masked_mean_pool(hidden: Tensor, mask: np.ndarray | None) -> Tensor:
+    """Average hidden states over valid (non-padding) positions."""
+    if mask is None:
+        return hidden.mean(axis=1)
+    mask = np.asarray(mask, dtype=hidden.dtype)
+    weights = Tensor(mask[:, :, None])
+    totals = (hidden * weights).sum(axis=1)
+    counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+    return totals / counts
+
+
+def last_valid_pool(hidden: Tensor, mask: np.ndarray | None) -> Tensor:
+    """Return the hidden state at each sequence's last valid position."""
+    batch, seq, _ = hidden.shape
+    if mask is None:
+        last = np.full(batch, seq - 1, dtype=np.int64)
+    else:
+        mask = np.asarray(mask, dtype=bool)
+        lengths = mask.sum(axis=1)
+        last = np.maximum(lengths - 1, 0).astype(np.int64)
+    return hidden[(np.arange(batch), last)]
+
+
+class ClassificationHead(Module):
+    """Pooled-vector → logits head with a tanh bottleneck (BERT-style)."""
+
+    def __init__(self, dim: int, num_classes: int, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.dense = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.classifier = Linear(dim, num_classes, rng=rng)
+
+    def forward(self, pooled: Tensor) -> Tensor:
+        return self.classifier(self.dropout(self.dense(pooled).tanh()))
+
+
+class MLMHead(Module):
+    """Masked-language-model head: transform + LayerNorm + decoder to vocab.
+
+    The decoder weight is *tied* to the token embedding table when one is
+    passed in, as in the original BERT implementation.
+    """
+
+    def __init__(self, dim: int, vocab_size: int,
+                 tied_embedding: Parameter | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.transform = Linear(dim, dim, rng=rng)
+        self.norm = LayerNorm(dim)
+        self.vocab_size = vocab_size
+        if tied_embedding is not None:
+            if tied_embedding.shape != (vocab_size, dim):
+                raise ValueError(
+                    f"tied embedding shape {tied_embedding.shape} != {(vocab_size, dim)}")
+            self.decoder_weight = tied_embedding  # shared Parameter (weight tying)
+        else:
+            from ..autograd import init
+
+            self.decoder_weight = Parameter(init.normal((vocab_size, dim), rng, std=0.02))
+        self.decoder_bias = Parameter(np.zeros(vocab_size, dtype=np.float32))
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        """Map ``(batch, seq, dim)`` hidden states to vocab logits."""
+        transformed = self.norm(F.gelu(self.transform(hidden)))
+        return transformed @ self.decoder_weight.transpose() + self.decoder_bias

@@ -1,0 +1,46 @@
+"""Affine (fully-connected) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor, functional as F, init
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x W^T + b`` with torch-style ``(out_features, in_features)`` weight.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input / output dimensionality of the last axis.
+    bias:
+        Whether to add a learned bias (default True).
+    rng:
+        Generator used for Kaiming-uniform initialisation.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=out_features).astype(init.DEFAULT_DTYPE))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(f"expected last dim {self.in_features}, got {x.shape[-1]}")
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,38 @@
+"""Layer normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, Parameter, Tensor
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Normalise over the last axis, then scale and shift.
+
+    Composed from differentiable primitives, so the gradient flows through the
+    mean and variance terms exactly as in the textbook derivation.
+    """
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.dim:
+            raise ValueError(f"expected last dim {self.dim}, got {x.shape[-1]}")
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalised = centered * ((variance + self.eps) ** -0.5)
+        return normalised * self.weight + self.bias
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.dim}, eps={self.eps})"

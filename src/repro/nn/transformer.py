@@ -1,0 +1,56 @@
+"""Transformer encoder layers (post-norm, as in the original BERT)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Module, ModuleList, Tensor, functional as F
+from .attention import MultiHeadSelfAttention
+from .dropout import Dropout
+from .linear import Linear
+from .normalization import LayerNorm
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(Module):
+    """One encoder block: self-attention + GELU feed-forward, residuals, post-LN."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int | None = None,
+                 dropout: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        ffn_dim = ffn_dim or 4 * dim
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.attn_norm = LayerNorm(dim)
+        self.ffn_in = Linear(dim, ffn_dim, rng=rng)
+        self.ffn_out = Linear(ffn_dim, dim, rng=rng)
+        self.ffn_norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        attended = self.dropout(self.attention(x, attention_mask=attention_mask))
+        x = self.attn_norm(x + attended)
+        hidden = self.ffn_out(F.gelu(self.ffn_in(x)))
+        return self.ffn_norm(x + self.dropout(hidden))
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerEncoderLayer` blocks."""
+
+    def __init__(self, num_layers: int, dim: int, num_heads: int,
+                 ffn_dim: int | None = None, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        rng = rng or np.random.default_rng()
+        self.layers = ModuleList(
+            TransformerEncoderLayer(dim, num_heads, ffn_dim=ffn_dim, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        )
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, attention_mask=attention_mask)
+        return x

@@ -1,0 +1,45 @@
+"""``repro.training`` — learners, loops, metrics and the three schemes."""
+
+from .classification import ClinicalClassificationLearner
+from .fedprox import make_proximal_regularizer
+from .metrics import (
+    EpochMetrics,
+    brier_score,
+    expected_calibration_error,
+    MetricAverager,
+    confusion_matrix,
+    precision_recall_f1,
+    roc_auc,
+    top1_accuracy,
+)
+from .mlm_learner import MlmPretrainLearner
+from .schemes import (
+    FederatedResult,
+    SchemeResult,
+    StandaloneResult,
+    run_centralized,
+    run_centralized_mlm,
+    run_federated,
+    run_federated_mlm,
+    run_standalone,
+)
+from .trainer import (
+    TrainConfig,
+    evaluate_classifier,
+    evaluate_mlm,
+    train_classifier,
+    train_mlm,
+)
+
+__all__ = [
+    "top1_accuracy", "confusion_matrix", "precision_recall_f1", "roc_auc",
+    "brier_score", "expected_calibration_error",
+    "make_proximal_regularizer",
+    "MetricAverager", "EpochMetrics",
+    "TrainConfig", "train_classifier", "evaluate_classifier",
+    "train_mlm", "evaluate_mlm",
+    "ClinicalClassificationLearner", "MlmPretrainLearner",
+    "SchemeResult", "StandaloneResult", "FederatedResult",
+    "run_centralized", "run_standalone", "run_federated",
+    "run_centralized_mlm", "run_federated_mlm",
+]

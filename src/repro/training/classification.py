@@ -1,0 +1,124 @@
+"""The client-side classification learner (the paper's ``CiBertLearner``).
+
+Each federated round: load the incoming global weights, run the configured
+local epochs of Adam on the site's shard, log per-epoch lines in the Fig. 3
+format, and return the updated weights with sample-count metadata.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Adam, Module
+from ..data import ClassificationDataset
+from ..flare import DXO, DataKind, FLContext, Learner, MetaKey
+from .trainer import TrainConfig, evaluate_classifier, train_classifier
+
+__all__ = ["ClinicalClassificationLearner"]
+
+ModelFactory = Callable[[], Module]
+
+
+class ClinicalClassificationLearner(Learner):
+    """Binary ADR classification on one site's local data."""
+
+    def __init__(self, site_name: str, model_factory: ModelFactory,
+                 train_data: ClassificationDataset,
+                 valid_data: ClassificationDataset | None,
+                 local_epochs: int = 10, batch_size: int = 32, lr: float = 1e-2,
+                 seed: int = 0, send_diff: bool = False,
+                 fedprox_mu: float = 0.0,
+                 class_weights=None) -> None:
+        super().__init__(name="CiBertLearner")
+        if len(train_data) == 0:
+            raise ValueError(f"{site_name}: empty training shard")
+        self.site_name = site_name
+        self.model_factory = model_factory
+        self.train_data = train_data
+        self.valid_data = valid_data
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.send_diff = send_diff
+        if fedprox_mu < 0:
+            raise ValueError("fedprox_mu must be non-negative")
+        self.fedprox_mu = fedprox_mu
+        self.class_weights = class_weights
+        self.model: Module | None = None
+        self.epoch_seconds: list[float] = []
+
+    # ------------------------------------------------------------------
+    def initialize(self, fl_ctx: FLContext) -> None:
+        self.model = self.model_factory()
+
+    def _require_model(self) -> Module:
+        if self.model is None:
+            raise RuntimeError("learner used before initialize()")
+        return self.model
+
+    # ------------------------------------------------------------------
+    def train(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        model = self._require_model()
+        incoming = {key: np.asarray(value) for key, value in dxo.data.items()}
+        model.load_state_dict(incoming, strict=False)
+        round_number = fl_ctx.get_prop("current_round",
+                                       fl_ctx.get_prop("__round_number__", 0))
+
+        config = TrainConfig(epochs=1, batch_size=self.batch_size, lr=self.lr,
+                             seed=self.seed + 1000 * int(round_number),
+                             class_weights=self.class_weights)
+        optimizer = Adam(model.parameters(), lr=self.lr)
+        regularizer = None
+        if self.fedprox_mu > 0:
+            from .fedprox import make_proximal_regularizer
+
+            regularizer = make_proximal_regularizer(self.fedprox_mu, incoming)
+        last_loss = float("nan")
+        valid_acc = float("nan")
+        for epoch in range(self.local_epochs):
+            started = time.perf_counter()
+            history = train_classifier(model, self.train_data, config,
+                                       optimizer=optimizer,
+                                       regularizer=regularizer)
+            last_loss = history[-1].train_loss
+            if self.valid_data is not None and len(self.valid_data):
+                valid_acc, _ = evaluate_classifier(model, self.valid_data,
+                                                   self.batch_size)
+            self.epoch_seconds.append(time.perf_counter() - started)
+            self.log_info(
+                "Local epoch %s: %d/%d (lr=%s), train_loss=%.3f, valid_acc=%.3f",
+                self.site_name, epoch + 1, self.local_epochs, self.lr,
+                last_loss, valid_acc)
+        if self.epoch_seconds:
+            self.log_info("Training cost: %.1f sec/local epoch",
+                          sum(self.epoch_seconds) / len(self.epoch_seconds))
+
+        updated = model.state_dict()
+        if self.send_diff:
+            payload = {key: np.asarray(updated[key]) - incoming[key]
+                       for key in updated if key in incoming}
+            kind = DataKind.WEIGHT_DIFF
+        else:
+            payload = {key: np.asarray(value) for key, value in updated.items()}
+            kind = DataKind.WEIGHTS
+        meta = {
+            MetaKey.NUM_STEPS_CURRENT_ROUND: len(self.train_data) * self.local_epochs,
+            "train_loss": last_loss,
+            "valid_acc": valid_acc,
+            "site": self.site_name,
+        }
+        return DXO(data_kind=kind, data=payload, meta=meta)
+
+    # ------------------------------------------------------------------
+    def validate(self, dxo: DXO, fl_ctx: FLContext) -> dict[str, float]:
+        model = self._require_model()
+        model.load_state_dict({key: np.asarray(value) for key, value in dxo.data.items()},
+                              strict=False)
+        data = self.valid_data if self.valid_data is not None and len(self.valid_data) \
+            else self.train_data
+        accuracy, loss = evaluate_classifier(model, data, self.batch_size)
+        return {"valid_acc": accuracy, "valid_loss": loss}

@@ -1,0 +1,156 @@
+"""Evaluation metrics: top-1 accuracy (the paper's Table III metric) & friends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["top1_accuracy", "confusion_matrix", "precision_recall_f1",
+           "roc_auc", "brier_score", "expected_calibration_error",
+           "MetricAverager", "EpochMetrics"]
+
+
+def top1_accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches the label."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels).reshape(-1)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits/labels batch mismatch")
+    if logits.shape[0] == 0:
+        return 0.0
+    predictions = logits.argmax(axis=-1)
+    return float((predictions == labels).mean())
+
+
+def confusion_matrix(predictions: np.ndarray, labels: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix, rows = true, cols = predicted."""
+    predictions = np.asarray(predictions, dtype=np.int64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def precision_recall_f1(predictions: np.ndarray, labels: np.ndarray,
+                        positive_class: int = 1) -> tuple[float, float, float]:
+    """Binary precision/recall/F1 for the given positive class."""
+    predictions = np.asarray(predictions).reshape(-1) == positive_class
+    labels = np.asarray(labels).reshape(-1) == positive_class
+    tp = float(np.sum(predictions & labels))
+    fp = float(np.sum(predictions & ~labels))
+    fn = float(np.sum(~predictions & labels))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return precision, recall, f1
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) formula.
+
+    ``scores`` are continuous positive-class scores (e.g. logit or
+    probability of class 1); ties get the average rank.  Returns 0.5 when a
+    class is absent (no ranking information).
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores/labels length mismatch")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # average ranks over ties
+    sorted_scores = scores[order]
+    start = 0
+    for stop in range(1, scores.size + 1):
+        if stop == scores.size or sorted_scores[stop] != sorted_scores[start]:
+            ranks[order[start:stop]] = 0.5 * (start + 1 + stop)
+            start = stop
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+class MetricAverager:
+    """Weighted running average (for per-batch losses with ragged batches)."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._weight = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._total += value * weight
+        self._weight += weight
+
+    @property
+    def average(self) -> float:
+        return self._total / self._weight if self._weight else 0.0
+
+    @property
+    def count(self) -> float:
+        return self._weight
+
+
+@dataclass
+class EpochMetrics:
+    """Summary of one training epoch."""
+
+    epoch: int
+    train_loss: float
+    valid_acc: float | None = None
+    valid_loss: float | None = None
+    seconds: float = 0.0
+
+
+def brier_score(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean squared error between positive-class probability and outcome.
+
+    The standard clinical calibration summary (lower is better; 0.25 is the
+    score of always predicting 0.5).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities/labels length mismatch")
+    if probabilities.size == 0:
+        return 0.0
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(np.mean((probabilities - labels) ** 2))
+
+
+def expected_calibration_error(probabilities: np.ndarray, labels: np.ndarray,
+                               n_bins: int = 10) -> float:
+    """ECE: |accuracy − confidence| averaged over equal-width probability bins.
+
+    Measures whether "p = 0.8" events actually happen 80% of the time — the
+    property a clinical risk model must have before its scores are clinically
+    actionable.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    probabilities = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities/labels length mismatch")
+    if probabilities.size == 0:
+        return 0.0
+    bins = np.clip((probabilities * n_bins).astype(int), 0, n_bins - 1)
+    total = probabilities.size
+    ece = 0.0
+    for b in range(n_bins):
+        in_bin = bins == b
+        count = int(in_bin.sum())
+        if count == 0:
+            continue
+        confidence = probabilities[in_bin].mean()
+        accuracy = labels[in_bin].mean()
+        ece += (count / total) * abs(accuracy - confidence)
+    return float(ece)

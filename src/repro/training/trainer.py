@@ -1,0 +1,170 @@
+"""Local training loops for classification and masked-LM objectives.
+
+These loops are shared by every scheme in the paper: the centralized and
+standalone baselines call them directly, and the federated learners call
+them once per round inside a client.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..autograd import Adam, Module, clip_grad_norm, functional as F, no_grad
+from ..data import IGNORE_INDEX, ClassificationDataset, MlmCollator, SequenceDataset
+from .metrics import EpochMetrics, MetricAverager, top1_accuracy
+
+__all__ = ["TrainConfig", "train_classifier", "evaluate_classifier",
+           "train_mlm", "evaluate_mlm"]
+
+
+class TrainConfig:
+    """Hyperparameters of a local training run (paper Table I defaults).
+
+    ``class_weights`` enables cost-sensitive training for the imbalanced ADR
+    task; ``early_stopping_patience`` stops after that many epochs without
+    validation-accuracy improvement and restores the best weights.
+    """
+
+    def __init__(self, epochs: int = 10, batch_size: int = 32, lr: float = 1e-2,
+                 max_grad_norm: float | None = 1.0, seed: int = 0,
+                 log_every: int = 0, class_weights: np.ndarray | None = None,
+                 early_stopping_patience: int | None = None) -> None:
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if early_stopping_patience is not None and early_stopping_patience <= 0:
+            raise ValueError("early_stopping_patience must be positive")
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.max_grad_norm = max_grad_norm
+        self.seed = seed
+        self.log_every = log_every
+        self.class_weights = class_weights
+        self.early_stopping_patience = early_stopping_patience
+
+
+def _step(model: Module, optimizer: Adam, loss, max_grad_norm: float | None) -> None:
+    model.zero_grad()
+    loss.backward()
+    if max_grad_norm is not None:
+        clip_grad_norm(model.parameters(), max_grad_norm)
+    optimizer.step()
+
+
+def train_classifier(model: Module, dataset: ClassificationDataset,
+                     config: TrainConfig,
+                     valid: ClassificationDataset | None = None,
+                     optimizer: Adam | None = None,
+                     regularizer=None) -> list[EpochMetrics]:
+    """Train a classifier; returns per-epoch metrics.
+
+    ``regularizer`` is an optional ``model -> Tensor`` penalty added to every
+    batch loss (used for the FedProx proximal term in federated learners).
+    """
+    optimizer = optimizer or Adam(model.parameters(), lr=config.lr)
+    rng = np.random.default_rng(config.seed)
+    history: list[EpochMetrics] = []
+    best_acc: float | None = None
+    best_state = None
+    stale_epochs = 0
+    for epoch in range(config.epochs):
+        started = time.perf_counter()
+        model.train()
+        averager = MetricAverager()
+        for ids, mask, labels in dataset.iter_batches(config.batch_size,
+                                                      shuffle=True, rng=rng):
+            logits = model(ids, attention_mask=mask)
+            loss = F.cross_entropy(logits, labels,
+                                   class_weights=config.class_weights)
+            if regularizer is not None:
+                loss = loss + regularizer(model)
+            _step(model, optimizer, loss, config.max_grad_norm)
+            averager.update(float(loss.data), weight=len(labels))
+        metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
+                               seconds=time.perf_counter() - started)
+        if valid is not None and len(valid):
+            metrics.valid_acc, metrics.valid_loss = evaluate_classifier(model, valid,
+                                                                        config.batch_size)
+        history.append(metrics)
+        if config.early_stopping_patience is not None and metrics.valid_acc is not None:
+            if best_acc is None or metrics.valid_acc > best_acc:
+                best_acc = metrics.valid_acc
+                best_state = model.state_dict()
+                stale_epochs = 0
+            else:
+                stale_epochs += 1
+                if stale_epochs >= config.early_stopping_patience:
+                    break
+    if best_state is not None:
+        model.load_state_dict(best_state)
+    return history
+
+
+def evaluate_classifier(model: Module, dataset: ClassificationDataset,
+                        batch_size: int = 64) -> tuple[float, float]:
+    """Return ``(top1_accuracy, mean_loss)`` on a dataset."""
+    model.eval()
+    accuracy = MetricAverager()
+    loss_avg = MetricAverager()
+    with no_grad():
+        for ids, mask, labels in dataset.iter_batches(batch_size):
+            logits = model(ids, attention_mask=mask)
+            loss = F.cross_entropy(logits, labels)
+            accuracy.update(top1_accuracy(logits.data, labels), weight=len(labels))
+            loss_avg.update(float(loss.data), weight=len(labels))
+    model.train()
+    return accuracy.average, loss_avg.average
+
+
+def train_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
+              config: TrainConfig, valid: SequenceDataset | None = None,
+              optimizer: Adam | None = None) -> list[EpochMetrics]:
+    """Masked-LM pretraining; ``train_loss`` holds the MLM loss (Fig. 2)."""
+    optimizer = optimizer or Adam(model.parameters(), lr=config.lr)
+    rng = np.random.default_rng(config.seed)
+    history: list[EpochMetrics] = []
+    for epoch in range(config.epochs):
+        started = time.perf_counter()
+        model.train()
+        averager = MetricAverager()
+        for ids, mask in dataset.iter_batches(config.batch_size, shuffle=True, rng=rng):
+            example = collator(ids, mask)
+            vocab = len(collator.vocab)
+            logits = model(example.input_ids, attention_mask=example.attention_mask)
+            loss = F.cross_entropy(logits.reshape(-1, vocab),
+                                   example.labels.reshape(-1),
+                                   ignore_index=IGNORE_INDEX)
+            n_targets = int((example.labels != IGNORE_INDEX).sum())
+            if n_targets == 0:
+                continue  # tiny batch where masking selected nothing
+            _step(model, optimizer, loss, config.max_grad_norm)
+            averager.update(float(loss.data), weight=n_targets)
+        metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
+                               seconds=time.perf_counter() - started)
+        if valid is not None and len(valid):
+            metrics.valid_loss = evaluate_mlm(model, valid, collator, config.batch_size)
+        history.append(metrics)
+    return history
+
+
+def evaluate_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
+                 batch_size: int = 64) -> float:
+    """Mean MLM loss over a held-out set."""
+    model.eval()
+    averager = MetricAverager()
+    vocab = len(collator.vocab)
+    with no_grad():
+        for ids, mask in dataset.iter_batches(batch_size):
+            example = collator(ids, mask)
+            n_targets = int((example.labels != IGNORE_INDEX).sum())
+            if n_targets == 0:
+                continue
+            logits = model(example.input_ids, attention_mask=example.attention_mask)
+            loss = F.cross_entropy(logits.reshape(-1, vocab),
+                                   example.labels.reshape(-1),
+                                   ignore_index=IGNORE_INDEX)
+            averager.update(float(loss.data), weight=n_targets)
+    model.train()
+    return averager.average

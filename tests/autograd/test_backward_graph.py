@@ -1,0 +1,150 @@
+"""Graph mechanics: accumulation, reuse, no_grad, detach, error paths."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
+
+
+class TestBackwardBasics:
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (a * a) + a  # d/da = 2a + 1 = 5
+        out.sum().backward()
+        assert np.isclose(a.grad[0], 5.0)
+
+    def test_diamond_graph(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        assert np.isclose(a.grad[0], 6.0)
+
+    def test_two_backwards_accumulate(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0).sum().backward()
+        first = a.grad.copy()
+        (a * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_seed_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = a * 2.0
+        out.backward(np.full((2, 2), 0.5))
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+
+    def test_nonscalar_needs_seed(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError, match="non-scalar"):
+            (a * 2.0).backward()
+
+    def test_wrong_seed_shape_rejected(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError, match="shape"):
+            (a * 2.0).backward(np.ones(4))
+
+    def test_backward_without_grad_flag(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError, match="does not require grad"):
+            a.sum().backward()
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        a = Tensor([1.0], requires_grad=True)
+        x = a
+        for _ in range(3000):  # would blow the stack with recursive backprop
+            x = x + 1.0
+        x.sum().backward()
+        assert np.isclose(a.grad[0], 1.0)
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_no_grad_is_thread_local(self):
+        """The FL simulator trains on threads while the server evaluates
+        under no_grad(); modes must not leak across threads."""
+        results: dict[str, bool] = {}
+        barrier = threading.Barrier(2)
+
+        def main_side():
+            with no_grad():
+                barrier.wait()   # other thread checks while we're inside
+                barrier.wait()
+
+        def other_side():
+            barrier.wait()
+            results["enabled_in_other_thread"] = is_grad_enabled()
+            barrier.wait()
+
+        t1 = threading.Thread(target=main_side)
+        t2 = threading.Thread(target=other_side)
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert results["enabled_in_other_thread"]
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a.detach()
+        assert not b.requires_grad
+        assert b.data is a.data  # shares storage
+
+
+class TestConstructors:
+    def test_tensor_helper(self):
+        t = tensor([1, 2, 3], requires_grad=True)
+        assert t.requires_grad and t.dtype.kind == "f"
+
+    def test_zeros_ones(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert float(ones(2).sum().data) == 2.0
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_int_input_promotes_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype.kind == "f"
+
+    def test_scalar_coercion_preserves_float32(self):
+        a = Tensor(np.ones(3, dtype=np.float32))
+        assert (a + 1e-5).dtype == np.float32
+        assert (a * 0.5).dtype == np.float32
+        assert (a / 2.0).dtype == np.float32
+
+    def test_len_repr_item(self):
+        a = Tensor([1.0, 2.0])
+        assert len(a) == 2
+        assert "Tensor" in repr(a)
+        assert Tensor([3.5]).item() == 3.5
+
+    def test_numpy_returns_backing_array(self):
+        a = Tensor([1.0])
+        assert a.numpy() is a.data

@@ -1,0 +1,75 @@
+"""Gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Parameter,
+    clip_grad_norm,
+    clip_grad_value,
+    grad_global_norm,
+)
+
+
+def params_with_grads():
+    p1 = Parameter(np.zeros(3))
+    p2 = Parameter(np.zeros((2, 2)))
+    p1.grad = np.array([3.0, 0.0, 0.0])
+    p2.grad = np.full((2, 2), 2.0)
+    return [p1, p2]
+
+
+class TestGlobalNorm:
+    def test_value(self):
+        params = params_with_grads()
+        assert np.isclose(grad_global_norm(params), np.sqrt(9.0 + 16.0))
+
+    def test_ignores_none(self):
+        p = Parameter(np.zeros(2))
+        assert grad_global_norm([p]) == 0.0
+
+
+class TestClipNorm:
+    def test_scales_down(self):
+        params = params_with_grads()
+        before = clip_grad_norm(params, max_norm=1.0)
+        assert np.isclose(before, 5.0)
+        assert np.isclose(grad_global_norm(params), 1.0)
+
+    def test_no_change_when_under(self):
+        params = params_with_grads()
+        grads = [p.grad.copy() for p in params]
+        clip_grad_norm(params, max_norm=100.0)
+        for p, g in zip(params, grads):
+            np.testing.assert_allclose(p.grad, g)
+
+    def test_direction_preserved(self):
+        params = params_with_grads()
+        direction = params[0].grad / np.linalg.norm(params[0].grad)
+        clip_grad_norm(params, max_norm=1.0)
+        new_direction = params[0].grad / np.linalg.norm(params[0].grad)
+        np.testing.assert_allclose(direction, new_direction, atol=1e-9)
+
+    def test_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm(params_with_grads(), max_norm=0.0)
+
+
+class TestClipValue:
+    def test_clamps(self):
+        params = params_with_grads()
+        clip_grad_value(params, 1.5)
+        assert params[0].grad.max() <= 1.5
+        assert params[1].grad.max() <= 1.5
+
+    def test_in_place(self):
+        params = params_with_grads()
+        grad_ref = params[0].grad
+        clip_grad_value(params, 1.0)
+        assert params[0].grad is grad_ref
+
+    def test_bad_value(self):
+        with pytest.raises(ValueError):
+            clip_grad_value(params_with_grads(), -1.0)

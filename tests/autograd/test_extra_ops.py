@@ -1,0 +1,75 @@
+"""abs / min / var / std tensor operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestAbs:
+    def test_values(self, rng):
+        a = Tensor(rng.normal(size=(3, 3)))
+        np.testing.assert_allclose(a.abs().data, np.abs(a.data))
+
+    def test_gradient_signs(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        np.testing.assert_allclose(a.grad, [-1.0, 1.0])
+
+    def test_gradcheck_away_from_zero(self, rng):
+        a = Tensor(rng.normal(size=(4,)) + np.sign(rng.normal(size=4)) * 0.5,
+                   requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), [a])
+
+
+class TestMin:
+    def test_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a.min().data, a.data.min())
+        np.testing.assert_allclose(a.min(axis=1).data, a.data.min(axis=1))
+
+    def test_gradient_flows_to_argmin(self):
+        a = Tensor(np.array([3.0, 1.0, 2.0]), requires_grad=True)
+        a.min().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.min(axis=0).sum(), [a])
+
+
+class TestVarStd:
+    def test_var_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(a.var().data, a.data.var(), atol=1e-7)
+        np.testing.assert_allclose(a.var(axis=1).data, a.data.var(axis=1), atol=1e-7)
+
+    def test_std_matches_numpy(self, rng):
+        a = Tensor(rng.normal(size=(4, 5)))
+        np.testing.assert_allclose(a.std(axis=0).data, a.data.std(axis=0), atol=1e-7)
+
+    def test_keepdims(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        assert a.var(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        check_gradients(lambda: a.var().sum(), [a])
+        check_gradients(lambda: a.std(axis=1).sum(), [a])
+
+    def test_constant_input_zero_variance(self):
+        a = Tensor(np.full((2, 3), 7.0))
+        np.testing.assert_allclose(a.var().data, 0.0, atol=1e-12)
+
+    def test_std_eps_guards_sqrt(self):
+        a = Tensor(np.full(3, 2.0), requires_grad=True)
+        out = a.std(eps=1e-8)
+        out.backward()  # without eps the sqrt'(0) would be inf
+        assert np.isfinite(a.grad).all()

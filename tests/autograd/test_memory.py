@@ -1,0 +1,75 @@
+"""Graph-lifetime semantics: backward frees interior state (torch-style)."""
+
+from __future__ import annotations
+
+import gc
+import weakref
+
+import numpy as np
+
+from repro.autograd import Parameter, Tensor
+
+
+def test_interior_grads_freed_after_backward():
+    a = Tensor(np.ones(3), requires_grad=True)
+    b = a * 2.0
+    c = b * 3.0
+    loss = c.sum()
+    loss.backward()
+    assert a.grad is not None            # leaf keeps its gradient
+    assert b.grad is None and c.grad is None  # interiors freed
+    assert loss.grad is None
+
+
+def test_interior_nodes_collectable_after_backward():
+    """Activation memory must be reclaimable once backward finishes."""
+    a = Parameter(np.ones((50, 50)))
+    big = a @ a.transpose()
+    ref = weakref.ref(big)
+    loss = big.sum()
+    loss.backward()
+    del big, loss
+    gc.collect()
+    assert ref() is None
+
+
+def test_leaf_grad_survives_and_accumulates():
+    a = Parameter(np.ones(2))
+    (a * 2.0).sum().backward()
+    (a * 2.0).sum().backward()
+    np.testing.assert_allclose(a.grad, 4.0)
+
+
+def test_training_memory_is_bounded():
+    """RSS must not grow step over step (no graph leak)."""
+    from repro.autograd import Adam, functional as F
+    from repro.models import build_classifier
+
+    def rss_kb():
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS"):
+                    return int(line.split()[1])
+        return 0
+
+    model = build_classifier("bert-tiny", vocab_size=50, seed=0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(1, 50, size=(16, 16))
+    labels = rng.integers(0, 2, size=16)
+
+    def step():
+        loss = F.cross_entropy(model(ids), labels)
+        model.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    for _ in range(3):  # warm up allocator
+        step()
+    gc.collect()
+    before = rss_kb()
+    for _ in range(10):
+        step()
+    gc.collect()
+    after = rss_kb()
+    assert after - before < 20_000, f"RSS grew {after - before} kB over 10 steps"

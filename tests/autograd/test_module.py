@@ -1,0 +1,145 @@
+"""Module system: registration, state dicts, modes, tied weights."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Module, ModuleList, Parameter, Tensor
+
+
+class Affine(Module):
+    def __init__(self, n=3):
+        super().__init__()
+        self.weight = Parameter(np.ones((n, n)))
+        self.bias = Parameter(np.zeros(n))
+
+    def forward(self, x):
+        return x @ self.weight.transpose() + self.bias
+
+
+class Stack(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Affine()
+        self.second = Affine()
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestRegistration:
+    def test_named_parameters_nested(self):
+        model = Stack()
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["first.weight", "first.bias", "second.weight", "second.bias"]
+
+    def test_parameters_dedupes_tied_weights(self):
+        model = Stack()
+        model.second.weight = model.first.weight  # tie
+        params = model.parameters()
+        assert len(params) == 3  # 4 slots, one shared
+
+    def test_num_parameters(self):
+        assert Affine(3).num_parameters() == 12
+
+    def test_reassignment_replaces(self):
+        model = Affine()
+        model.weight = Parameter(np.zeros((3, 3)))
+        assert len(model.parameters()) == 2
+
+    def test_assign_before_init_fails(self):
+        class Broken(Module):
+            def __init__(self):
+                self.x = Parameter(np.ones(1))  # no super().__init__()
+
+        with pytest.raises(AttributeError):
+            Broken()
+
+    def test_named_modules(self):
+        model = Stack()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "first" in names and "second" in names
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        model = Stack()
+        model.eval()
+        assert not model.training and not model.first.training
+        model.train()
+        assert model.second.training
+
+    def test_zero_grad(self):
+        model = Affine()
+        out = model(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        src, dst = Affine(), Affine()
+        src.weight.data[...] = 7.0
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(dst.weight.data, 7.0)
+
+    def test_state_dict_is_a_copy(self):
+        model = Affine()
+        state = model.state_dict()
+        state["weight"][...] = 99.0
+        assert not np.allclose(model.weight.data, 99.0)
+
+    def test_strict_missing_key_fails(self):
+        model = Affine()
+        state = model.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_strict_unexpected_key_fails(self):
+        model = Affine()
+        state = model.state_dict()
+        state["extra"] = np.ones(1)
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_non_strict_partial_load(self):
+        model = Affine()
+        model.load_state_dict({"weight": np.full((3, 3), 5.0)}, strict=False)
+        np.testing.assert_allclose(model.weight.data, 5.0)
+
+    def test_shape_mismatch_fails(self):
+        model = Affine()
+        state = model.state_dict()
+        state["weight"] = np.ones((2, 2))
+        with pytest.raises(ValueError, match="shape"):
+            model.load_state_dict(state)
+
+    def test_load_preserves_parameter_identity(self):
+        model = Affine()
+        param = model.weight
+        model.load_state_dict(model.state_dict())
+        assert model.weight is param  # in-place, optimiser bindings survive
+
+
+class TestModuleList:
+    def test_iteration_and_indexing(self):
+        layers = ModuleList(Affine() for _ in range(3))
+        assert len(layers) == 3
+        assert layers[1] is list(layers)[1]
+
+    def test_parameters_registered(self):
+        layers = ModuleList([Affine(), Affine()])
+        assert len(layers.parameters()) == 4
+
+    def test_append(self):
+        layers = ModuleList()
+        layers.append(Affine())
+        assert len(layers) == 1
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

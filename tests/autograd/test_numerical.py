@@ -1,0 +1,49 @@
+"""The gradient checker itself must detect wrong gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, numerical_grad
+
+
+def test_numerical_grad_of_quadratic():
+    t = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    grad = numerical_grad(lambda: (t * t).sum(), t)
+    np.testing.assert_allclose(grad, 2 * t.data, atol=1e-5)
+
+
+def test_check_gradients_passes_correct_op():
+    t = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+    check_gradients(lambda: t.tanh().sum(), [t])
+
+
+def test_check_gradients_catches_wrong_gradient():
+    """A deliberately broken op must be flagged."""
+    t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+
+    def broken():
+        out = t * 3.0
+        real_backward = out._backward
+
+        def wrong(grad):
+            t._accumulate(grad * 2.0)  # claims d/dt = 2, truth is 3
+
+        out._backward = wrong if real_backward else None
+        return out.sum()
+
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        check_gradients(broken, [t])
+
+
+def test_check_gradients_catches_missing_gradient():
+    t = Tensor(np.array([1.0]), requires_grad=True)
+    u = Tensor(np.array([1.0]), requires_grad=True)
+
+    # loss depends on u but we assert against t's (absent) gradient path
+    def fn():
+        return (u * u).sum() + Tensor(t.data).sum()  # t detached on purpose
+
+    with pytest.raises(AssertionError):
+        check_gradients(fn, [t])

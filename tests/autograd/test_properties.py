@@ -1,0 +1,93 @@
+"""Property-based tests of autograd algebra (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor
+
+finite = st.floats(-1e3, 1e3, allow_nan=False, width=64)
+small_arrays = hnp.arrays(dtype=np.float64,
+                          shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=4),
+                          elements=finite)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_sum_gradient_is_ones(array):
+    t = Tensor(array, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays, finite)
+def test_scalar_mul_gradient(array, scalar):
+    t = Tensor(array, requires_grad=True)
+    (t * scalar).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(array, scalar), rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_addition_commutes_in_value_and_grad(array):
+    a = Tensor(array, requires_grad=True)
+    b = Tensor(array * 0.5 + 1.0, requires_grad=True)
+    (a + b).sum().backward()
+    grad_ab = (a.grad.copy(), b.grad.copy())
+    a.zero_grad(); b.zero_grad()
+    (b + a).sum().backward()
+    np.testing.assert_allclose(a.grad, grad_ab[0])
+    np.testing.assert_allclose(b.grad, grad_ab[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_reshape_roundtrip_gradient_identity(array):
+    t = Tensor(array, requires_grad=True)
+    t.reshape(-1).reshape(*array.shape).sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_transpose_involution(array):
+    t = Tensor(array, requires_grad=True)
+    round_trip = t.transpose().transpose()
+    np.testing.assert_allclose(round_trip.data, array)
+    round_trip.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(array))
+
+
+@settings(max_examples=40, deadline=None)
+@given(hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                  elements=finite))
+def test_linearity_of_backward(array):
+    """grad of (2x).sum() equals 2 * grad of x.sum()."""
+    t1 = Tensor(array, requires_grad=True)
+    (t1 * 2.0).sum().backward()
+    t2 = Tensor(array, requires_grad=True)
+    t2.sum().backward()
+    np.testing.assert_allclose(t1.grad, 2.0 * t2.grad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays)
+def test_masked_fill_keeps_unmasked_values(array):
+    mask = array > np.median(array)
+    t = Tensor(array)
+    out = t.masked_fill(mask, 0.0)
+    np.testing.assert_allclose(out.data[~mask], array[~mask])
+    assert np.all(out.data[mask] == 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5))
+def test_tanh_bounded(rows, cols):
+    rng = np.random.default_rng(rows * 10 + cols)
+    t = Tensor(rng.normal(scale=10.0, size=(rows, cols)))
+    out = t.tanh().data
+    assert np.all(out <= 1.0) and np.all(out >= -1.0)

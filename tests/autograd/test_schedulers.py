@@ -1,0 +1,95 @@
+"""LR schedulers: trajectories and validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    Parameter,
+    StepLR,
+    WarmupLinearLR,
+)
+
+
+def make_optimizer(lr=1.0):
+    return Adam([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestConstant:
+    def test_never_changes(self):
+        opt = make_optimizer(0.01)
+        sched = ConstantLR(opt)
+        for _ in range(10):
+            assert sched.step() == 0.01
+
+
+class TestStep:
+    def test_decays_at_boundaries(self):
+        opt = make_optimizer(1.0)
+        sched = StepLR(opt, step_size=3, gamma=0.1)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[:2] == [1.0, 1.0]
+        assert np.isclose(lrs[2], 0.1)     # epoch 3
+        assert np.isclose(lrs[5], 0.01)    # epoch 6
+
+    def test_updates_optimizer(self):
+        opt = make_optimizer(1.0)
+        StepLR(opt, step_size=1, gamma=0.5).step()
+        assert opt.lr == 0.5
+
+    def test_bad_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        lrs = [sched.step() for _ in range(10)]
+        assert np.isclose(lrs[-1], 0.1)
+        mid = lrs[4]  # roughly half-way
+        assert 0.1 < mid < 1.0
+
+    def test_monotone_decreasing(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_after_t_max(self):
+        opt = make_optimizer(1.0)
+        sched = CosineAnnealingLR(opt, t_max=5)
+        for _ in range(8):
+            lr = sched.step()
+        assert np.isclose(lr, 0.0, atol=1e-12)
+
+
+class TestWarmupLinear:
+    def test_warms_up_then_decays(self):
+        opt = make_optimizer(1.0)
+        sched = WarmupLinearLR(opt, warmup_steps=4, total_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert np.isclose(lrs[0], 0.25)
+        assert np.isclose(max(lrs), 1.0)
+        assert np.isclose(lrs[-1], 0.0)
+        peak = int(np.argmax(lrs))
+        assert all(a <= b + 1e-12 for a, b in zip(lrs[:peak], lrs[1:peak + 1]))
+        assert all(a >= b - 1e-12 for a, b in zip(lrs[peak:], lrs[peak + 1:]))
+
+    def test_no_warmup(self):
+        opt = make_optimizer(1.0)
+        sched = WarmupLinearLR(opt, warmup_steps=0, total_steps=4)
+        assert sched.step() < 1.0  # immediately decaying
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            WarmupLinearLR(make_optimizer(), warmup_steps=5, total_steps=4)
+        with pytest.raises(ValueError):
+            WarmupLinearLR(make_optimizer(), warmup_steps=-1, total_steps=4)

@@ -1,0 +1,66 @@
+"""State-dict persistence: files and bytes, including property-based checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import (
+    load_state_dict,
+    save_state_dict,
+    state_dict_from_bytes,
+    state_dict_to_bytes,
+)
+
+
+def sample_state():
+    return {
+        "encoder.layer.0.weight": np.arange(6, dtype=np.float32).reshape(2, 3),
+        "encoder.layer.0.bias": np.zeros(3),
+        "head.weight": np.random.default_rng(0).normal(size=(4, 4)),
+    }
+
+
+class TestFileRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = save_state_dict(sample_state(), tmp_path / "model")
+        assert path.suffix == ".npz"
+        loaded = load_state_dict(path)
+        for key, value in sample_state().items():
+            np.testing.assert_allclose(loaded[key], value)
+
+    def test_dotted_names_preserved(self, tmp_path):
+        path = save_state_dict(sample_state(), tmp_path / "m.npz")
+        assert "encoder.layer.0.weight" in load_state_dict(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_state_dict(sample_state(), tmp_path / "a" / "b" / "model")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state_dict(tmp_path / "nope.npz")
+
+
+class TestBytesRoundtrip:
+    def test_roundtrip(self):
+        blob = state_dict_to_bytes(sample_state())
+        loaded = state_dict_from_bytes(blob)
+        assert set(loaded) == set(sample_state())
+
+    def test_dtype_preserved(self):
+        state = {"x": np.ones(3, dtype=np.float32), "y": np.ones(3, dtype=np.float64)}
+        loaded = state_dict_from_bytes(state_dict_to_bytes(state))
+        assert loaded["x"].dtype == np.float32
+        assert loaded["y"].dtype == np.float64
+
+    @settings(max_examples=25, deadline=None)
+    @given(hnp.arrays(dtype=np.float32,
+                      shape=hnp.array_shapes(max_dims=3, max_side=5),
+                      elements=st.floats(-1e6, 1e6, width=32)))
+    def test_property_roundtrip(self, array):
+        loaded = state_dict_from_bytes(state_dict_to_bytes({"w": array}))
+        np.testing.assert_array_equal(loaded["w"], array)

@@ -1,0 +1,199 @@
+"""Gradient correctness of every Tensor operation (vs. central differences)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+
+
+def _t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestArithmetic:
+    def test_add(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_broadcast(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_add_scalar(self, rng):
+        a = _t(rng, 2, 3)
+        check_gradients(lambda: (a + 2.5).sum(), [a])
+        check_gradients(lambda: (1.5 + a).sum(), [a])
+
+    def test_mul(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_broadcast_keepdims(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 1)
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_sub_and_neg(self, rng):
+        a, b = _t(rng, 5), _t(rng, 5)
+        check_gradients(lambda: (a - b).sum(), [a, b])
+        check_gradients(lambda: (-a).sum(), [a])
+        check_gradients(lambda: (3.0 - a).sum(), [a])
+
+    def test_div(self, rng):
+        a = _t(rng, 4)
+        b = Tensor(rng.uniform(0.5, 2.0, size=4), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+        check_gradients(lambda: (2.0 / b).sum(), [b])
+
+    def test_pow(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(3, 2)), requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), [a])
+        check_gradients(lambda: (a ** -0.5).sum(), [a])
+
+    def test_pow_tensor_exponent_rejected(self, rng):
+        a = _t(rng, 2)
+        with pytest.raises(TypeError):
+            a ** a  # noqa: B018
+
+
+class TestMatmul:
+    def test_2d(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 2, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_broadcast_batch(self, rng):
+        a, b = _t(rng, 2, 3, 4), _t(rng, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_dot(self, rng):
+        a, b = _t(rng, 4), _t(rng, 4)
+        check_gradients(lambda: a @ b, [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_vector_matrix(self, rng):
+        a, b = _t(rng, 4), _t(rng, 4, 5)
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_values_match_numpy(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 5)
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = _t(rng, 3, 4, 2)
+        check_gradients(lambda: a.sum(axis=1).sum(), [a])
+        check_gradients(lambda: a.sum(axis=(0, 2)).sum(), [a])
+        check_gradients(lambda: a.sum(axis=-1, keepdims=True).sum(), [a])
+
+    def test_mean(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.mean(), [a])
+        check_gradients(lambda: a.mean(axis=0).sum(), [a])
+        assert np.isclose(a.mean().data, a.data.mean())
+
+    def test_max(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.max(), [a])
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+        assert np.allclose(a.max(axis=0).data, a.data.max(axis=0))
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "sqrt"])
+    def test_unary(self, rng, op):
+        base = rng.uniform(0.2, 2.0, size=(3, 3)) if op == "sqrt" else rng.normal(size=(3, 3))
+        a = Tensor(base, requires_grad=True)
+        check_gradients(lambda: getattr(a, op)().sum(), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_clip(self, rng):
+        # keep sample points away from the clip boundaries, where the
+        # derivative is undefined and central differences disagree
+        a = Tensor(np.array([-1.7, -0.4, 0.3, 0.9, 1.6]), requires_grad=True)
+        check_gradients(lambda: a.clip(-1.0, 1.0).sum(), [a])
+        assert a.clip(-1, 1).data.max() <= 1.0
+
+
+class TestShapeOps:
+    def test_reshape(self, rng):
+        a = _t(rng, 3, 4)
+        check_gradients(lambda: a.reshape(2, 6).sum(), [a])
+        check_gradients(lambda: a.reshape((12,)).sum(), [a])
+
+    def test_transpose(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda: a.transpose().sum(), [a])
+        check_gradients(lambda: a.transpose(1, 0, 2).sum(), [a])
+        assert a.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self, rng):
+        a = _t(rng, 2, 3, 4)
+        check_gradients(lambda: a.swapaxes(0, 2).sum(), [a])
+        assert a.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_slice(self, rng):
+        a = _t(rng, 4, 5)
+        check_gradients(lambda: a[1:3, ::2].sum(), [a])
+
+    def test_getitem_fancy(self, rng):
+        a = _t(rng, 6, 3)
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda: a[idx].sum(), [a])
+
+    def test_getitem_fancy_duplicate_accumulates(self, rng):
+        a = _t(rng, 4)
+        out = a[np.array([1, 1, 1])].sum()
+        out.backward()
+        assert a.grad is not None and np.isclose(a.grad[1], 3.0)
+
+    def test_getitem_tuple(self, rng):
+        a = _t(rng, 4, 5)
+        rows = np.array([0, 1, 3])
+        cols = np.array([2, 2, 4])
+        check_gradients(lambda: a[(rows, cols)].sum(), [a])
+
+    def test_masked_fill(self, rng):
+        a = _t(rng, 3, 4)
+        mask = rng.random((3, 4)) > 0.5
+        filled = a.masked_fill(mask, -9.0)
+        assert np.all(filled.data[mask] == -9.0)
+        check_gradients(lambda: a.masked_fill(mask, -9.0).sum(), [a])
+
+
+class TestJoinOps:
+    def test_concatenate(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        out = Tensor.concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        check_gradients(lambda: Tensor.concatenate([a, b], axis=0).sum(), [a, b])
+
+    def test_concatenate_axis1(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 2, 5)
+        check_gradients(lambda: Tensor.concatenate([a, b], axis=1).sum(), [a, b])
+
+    def test_stack(self, rng):
+        parts = [_t(rng, 3, 2) for _ in range(4)]
+        out = Tensor.stack(parts, axis=1)
+        assert out.shape == (3, 4, 2)
+        check_gradients(lambda: Tensor.stack(parts, axis=1).sum(), parts)

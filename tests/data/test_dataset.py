@@ -1,0 +1,121 @@
+"""Datasets and batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ClassificationDataset,
+    SequenceDataset,
+    encode_cohort,
+    train_valid_split,
+)
+
+
+def make_dataset(n=20, seq=6):
+    rng = np.random.default_rng(0)
+    return ClassificationDataset(
+        input_ids=rng.integers(0, 9, size=(n, seq)),
+        attention_mask=np.ones((n, seq), dtype=bool),
+        labels=rng.integers(0, 2, size=n),
+    )
+
+
+class TestClassificationDataset:
+    def test_len(self):
+        assert len(make_dataset(13)) == 13
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            ClassificationDataset(np.zeros((3, 4), dtype=np.int64),
+                                  np.ones((3, 4), dtype=bool),
+                                  np.zeros(2, dtype=np.int64))
+
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = ds.subset(np.array([1, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[1, 3, 5]])
+
+    def test_batches_cover_everything(self):
+        ds = make_dataset(10)
+        seen = sum(len(labels) for _, _, labels in ds.iter_batches(3))
+        assert seen == 10
+
+    def test_drop_last(self):
+        ds = make_dataset(10)
+        batches = list(ds.iter_batches(3, drop_last=True))
+        assert all(len(b[2]) == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_shuffle_changes_order_but_not_content(self):
+        ds = make_dataset(32)
+        plain = np.concatenate([ids[:, 0] for ids, _, _ in ds.iter_batches(8)])
+        shuffled = np.concatenate([
+            ids[:, 0] for ids, _, _ in ds.iter_batches(8, shuffle=True,
+                                                       rng=np.random.default_rng(1))])
+        assert sorted(plain.tolist()) == sorted(shuffled.tolist())
+        assert not np.array_equal(plain, shuffled)
+
+    def test_shuffle_deterministic_with_rng(self):
+        ds = make_dataset(16)
+        a = [l.tolist() for _, _, l in ds.iter_batches(4, shuffle=True,
+                                                       rng=np.random.default_rng(5))]
+        b = [l.tolist() for _, _, l in ds.iter_batches(4, shuffle=True,
+                                                       rng=np.random.default_rng(5))]
+        assert a == b
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_dataset().iter_batches(0))
+
+    def test_positive_rate(self):
+        ds = ClassificationDataset(np.zeros((4, 2), dtype=np.int64),
+                                   np.ones((4, 2), dtype=bool),
+                                   np.array([1, 1, 0, 0]))
+        assert ds.positive_rate == 0.5
+
+
+class TestSequenceDataset:
+    def test_batching(self):
+        ds = SequenceDataset(np.zeros((7, 4), dtype=np.int64),
+                             np.ones((7, 4), dtype=bool))
+        sizes = [len(ids) for ids, _ in ds.iter_batches(3)]
+        assert sizes == [3, 3, 1]
+
+    def test_subset(self):
+        ds = SequenceDataset(np.arange(12).reshape(6, 2),
+                             np.ones((6, 2), dtype=bool))
+        sub = ds.subset(np.array([0, 5]))
+        assert len(sub) == 2
+
+
+class TestEncodeCohort:
+    def test_labels_align(self, tiny_cohort, tiny_tokenizer):
+        ds = encode_cohort(tiny_cohort, tiny_tokenizer)
+        assert len(ds) == len(tiny_cohort)
+        np.testing.assert_array_equal(ds.labels, tiny_cohort.labels)
+
+    def test_cls_first_everywhere(self, tiny_cohort, tiny_tokenizer):
+        ds = encode_cohort(tiny_cohort, tiny_tokenizer)
+        assert (ds.input_ids[:, 0] == tiny_cohort.vocab.cls_id).all()
+
+
+class TestSplit:
+    def test_disjoint_and_complete(self):
+        train, valid = train_valid_split(100, 0.2, seed=1)
+        assert len(train) == 80 and len(valid) == 20
+        assert not set(train) & set(valid)
+        assert set(train) | set(valid) == set(range(100))
+
+    def test_deterministic(self):
+        a = train_valid_split(50, 0.3, seed=2)
+        b = train_valid_split(50, 0.3, seed=2)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_valid_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_valid_split(10, 1.0)

@@ -1,0 +1,109 @@
+"""Synthetic clopidogrel cohort generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CohortSpec,
+    PAPER_COHORT_SIZE,
+    PAPER_POSITIVE_COUNT,
+    build_clinical_vocab,
+    generate_cohort,
+    generate_pretraining_corpus,
+)
+from repro.data.ehr import CLOPIDOGREL, INTERACTING_PPI
+
+
+class TestCohortStatistics:
+    def test_size(self):
+        cohort = generate_cohort(CohortSpec(n_patients=500, seed=1))
+        assert len(cohort) == 500
+
+    def test_positive_rate_matches_paper(self):
+        """Paper: 1,824 failures / 8,638 patients = 21.1%."""
+        cohort = generate_cohort(CohortSpec(n_patients=4000, seed=2))
+        target = PAPER_POSITIVE_COUNT / PAPER_COHORT_SIZE
+        assert abs(cohort.positive_rate - target) < 0.035
+
+    def test_deterministic(self):
+        a = generate_cohort(CohortSpec(n_patients=100, seed=3))
+        b = generate_cohort(CohortSpec(n_patients=100, seed=3))
+        assert a.texts() == b.texts()
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = generate_cohort(CohortSpec(n_patients=100, seed=3))
+        b = generate_cohort(CohortSpec(n_patients=100, seed=4))
+        assert a.texts() != b.texts()
+
+    def test_every_patient_on_clopidogrel(self):
+        cohort = generate_cohort(CohortSpec(n_patients=50, seed=5))
+        assert all(CLOPIDOGREL in record.tokens for record in cohort.records)
+
+    def test_tokens_in_vocab(self):
+        cohort = generate_cohort(CohortSpec(n_patients=100, seed=6))
+        for record in cohort.records[:20]:
+            for token in record.tokens:
+                assert token in cohort.vocab, token
+
+
+class TestRiskStructure:
+    """The label must actually depend on the clinical risk tokens."""
+
+    def test_cyp2c19_lof_raises_failure_rate(self):
+        cohort = generate_cohort(CohortSpec(n_patients=4000, seed=7))
+        lof = [r.label for r in cohort.records if r.covariates["cyp2c19_lof"]]
+        normal = [r.label for r in cohort.records if not r.covariates["cyp2c19_lof"]]
+        assert np.mean(lof) > np.mean(normal) + 0.1
+
+    def test_interacting_ppi_raises_failure_rate(self):
+        cohort = generate_cohort(CohortSpec(n_patients=4000, seed=7))
+        on = [r.label for r in cohort.records if r.covariates["interacting_ppi"]]
+        off = [r.label for r in cohort.records if not r.covariates["interacting_ppi"]]
+        assert np.mean(on) > np.mean(off) + 0.05
+
+    def test_risk_tokens_present_when_covariate_set(self):
+        cohort = generate_cohort(CohortSpec(n_patients=300, seed=8))
+        for record in cohort.records:
+            if record.covariates["interacting_ppi"]:
+                assert any(t in INTERACTING_PPI for t in record.tokens)
+            if record.covariates["diabetes"]:
+                assert "DX_E11" in record.tokens
+
+    def test_label_noise_bounds_separability(self):
+        """With 50% label noise, labels are independent of covariates."""
+        noisy = generate_cohort(CohortSpec(n_patients=4000, seed=9, label_noise=0.5,
+                                           target_positive_rate=0.5))
+        lof = [r.label for r in noisy.records if r.covariates["cyp2c19_lof"]]
+        normal = [r.label for r in noisy.records if not r.covariates["cyp2c19_lof"]]
+        assert abs(np.mean(lof) - np.mean(normal)) < 0.08
+
+
+class TestValidation:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            generate_cohort(CohortSpec(n_patients=0))
+
+    def test_record_text_joins_tokens(self):
+        cohort = generate_cohort(CohortSpec(n_patients=5, seed=1))
+        record = cohort.records[0]
+        assert record.text().split() == record.tokens
+
+
+class TestPretrainingCorpus:
+    def test_size_and_determinism(self):
+        a = generate_pretraining_corpus(50, seed=1)
+        b = generate_pretraining_corpus(50, seed=1)
+        assert len(a) == 50 and a == b
+
+    def test_tokens_in_vocab(self):
+        vocab = build_clinical_vocab()
+        for line in generate_pretraining_corpus(30, seed=2):
+            for token in line.split():
+                assert token in vocab
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            generate_pretraining_corpus(0)

@@ -1,0 +1,111 @@
+"""MLM masking collator (15% selection, 80/10/10 corruption, Sec. III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import IGNORE_INDEX, MlmCollator, Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([f"TOK_{i}" for i in range(40)])
+
+
+def big_batch(vocab, n=400, seq=24, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(5, len(vocab), size=(n, seq))
+    ids[:, 0] = vocab.cls_id
+    mask = np.ones((n, seq), dtype=bool)
+    mask[:, -4:] = False
+    ids[:, -4:] = vocab.pad_id
+    return ids, mask
+
+
+class TestSelection:
+    def test_selection_rate_close_to_15_percent(self, vocab):
+        ids, mask = big_batch(vocab)
+        example = MlmCollator(vocab, seed=1)(ids, mask)
+        selectable = mask & ~np.isin(ids, vocab.special_ids)
+        rate = (example.labels != IGNORE_INDEX).sum() / selectable.sum()
+        assert abs(rate - 0.15) < 0.02
+
+    def test_specials_never_selected(self, vocab):
+        ids, mask = big_batch(vocab)
+        example = MlmCollator(vocab, seed=2)(ids, mask)
+        selected = example.labels != IGNORE_INDEX
+        assert not selected[:, 0].any()          # [CLS]
+        assert not selected[ids == vocab.pad_id].any()
+
+    def test_padding_never_selected(self, vocab):
+        ids, mask = big_batch(vocab)
+        example = MlmCollator(vocab, seed=3)(ids, mask)
+        assert not (example.labels[~mask] != IGNORE_INDEX).any()
+
+    def test_labels_hold_original_ids(self, vocab):
+        ids, mask = big_batch(vocab)
+        example = MlmCollator(vocab, seed=4)(ids, mask)
+        selected = example.labels != IGNORE_INDEX
+        np.testing.assert_array_equal(example.labels[selected], ids[selected])
+
+
+class TestCorruptionSplit:
+    def test_80_10_10(self, vocab):
+        ids, mask = big_batch(vocab, n=2000)
+        example = MlmCollator(vocab, seed=5)(ids, mask)
+        selected = example.labels != IGNORE_INDEX
+        corrupted = example.input_ids[selected]
+        original = ids[selected]
+        frac_mask = (corrupted == vocab.mask_id).mean()
+        frac_kept = (corrupted == original).mean()
+        assert abs(frac_mask - 0.80) < 0.03
+        # 10% kept + ~10%·(1/V) random collisions
+        assert abs(frac_kept - 0.10) < 0.03
+
+    def test_kept_tokens_still_in_loss(self, vocab):
+        """The paper's regularisation: unmasked selected tokens keep labels."""
+        ids, mask = big_batch(vocab, n=2000)
+        example = MlmCollator(vocab, seed=6)(ids, mask)
+        selected = example.labels != IGNORE_INDEX
+        kept = selected & (example.input_ids == ids)
+        assert kept.sum() > 0
+        assert (example.labels[kept] == ids[kept]).all()
+
+    def test_unselected_positions_untouched(self, vocab):
+        ids, mask = big_batch(vocab)
+        example = MlmCollator(vocab, seed=7)(ids, mask)
+        unselected = example.labels == IGNORE_INDEX
+        np.testing.assert_array_equal(example.input_ids[unselected], ids[unselected])
+
+    def test_original_arrays_not_modified(self, vocab):
+        ids, mask = big_batch(vocab)
+        before = ids.copy()
+        MlmCollator(vocab, seed=8)(ids, mask)
+        np.testing.assert_array_equal(ids, before)
+
+
+class TestConfig:
+    def test_deterministic_given_seed(self, vocab):
+        ids, mask = big_batch(vocab, n=20)
+        a = MlmCollator(vocab, seed=9)(ids, mask)
+        b = MlmCollator(vocab, seed=9)(ids, mask)
+        np.testing.assert_array_equal(a.input_ids, b.input_ids)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_bad_mask_prob(self, vocab):
+        with pytest.raises(ValueError):
+            MlmCollator(vocab, mask_prob=0.0)
+        with pytest.raises(ValueError):
+            MlmCollator(vocab, mask_prob=1.0)
+
+    def test_bad_fractions(self, vocab):
+        with pytest.raises(ValueError):
+            MlmCollator(vocab, replace_mask_frac=0.9, replace_random_frac=0.2)
+
+    def test_custom_mask_prob(self, vocab):
+        ids, mask = big_batch(vocab, n=1000)
+        example = MlmCollator(vocab, mask_prob=0.4, seed=10)(ids, mask)
+        selectable = mask & ~np.isin(ids, vocab.special_ids)
+        rate = (example.labels != IGNORE_INDEX).sum() / selectable.sum()
+        assert abs(rate - 0.4) < 0.03

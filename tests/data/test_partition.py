@@ -1,0 +1,128 @@
+"""Client partitioners (paper's imbalanced ratios, balanced, label-skew)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    PAPER_IMBALANCED_RATIOS,
+    partition_balanced,
+    partition_by_ratios,
+    partition_label_skew,
+    small_subset,
+)
+
+
+class TestPaperRatios:
+    def test_ratios_sum_to_one(self):
+        assert abs(sum(PAPER_IMBALANCED_RATIOS) - 1.0) < 1e-9
+
+    def test_eight_clients(self):
+        assert len(PAPER_IMBALANCED_RATIOS) == 8
+
+    def test_descending(self):
+        assert list(PAPER_IMBALANCED_RATIOS) == sorted(PAPER_IMBALANCED_RATIOS,
+                                                       reverse=True)
+
+
+class TestPartitionByRatios:
+    def test_disjoint_and_complete(self):
+        shards = partition_by_ratios(1000)
+        combined = np.concatenate(shards)
+        assert len(combined) == 1000
+        assert len(np.unique(combined)) == 1000
+
+    def test_sizes_follow_ratios(self):
+        shards = partition_by_ratios(10_000)
+        sizes = np.array([len(s) for s in shards]) / 10_000
+        np.testing.assert_allclose(sizes, PAPER_IMBALANCED_RATIOS, atol=0.005)
+
+    def test_no_empty_shards_small_n(self):
+        shards = partition_by_ratios(20)
+        assert all(len(s) >= 1 for s in shards)
+
+    def test_deterministic(self):
+        a = partition_by_ratios(100, seed=3)
+        b = partition_by_ratios(100, seed=3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_too_few_items(self):
+        with pytest.raises(ValueError):
+            partition_by_ratios(4)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            partition_by_ratios(100, ratios=(0.5, 0.0, 0.5))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(16, 2000), st.integers(0, 10_000))
+    def test_property_partition_is_exact(self, n, seed):
+        shards = partition_by_ratios(n, seed=seed)
+        combined = np.sort(np.concatenate(shards))
+        np.testing.assert_array_equal(combined, np.arange(n))
+
+
+class TestPartitionBalanced:
+    def test_near_equal_sizes(self):
+        shards = partition_balanced(100, 8)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_complete(self):
+        shards = partition_balanced(101, 8)
+        assert len(np.unique(np.concatenate(shards))) == 101
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_balanced(3, 8)
+        with pytest.raises(ValueError):
+            partition_balanced(10, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(8, 500), st.integers(1, 8))
+    def test_property_balanced_exact(self, n, k):
+        shards = partition_balanced(n, k)
+        assert sum(len(s) for s in shards) == n
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestLabelSkew:
+    def test_complete(self):
+        labels = np.random.default_rng(0).integers(0, 2, size=300)
+        shards = partition_label_skew(labels, 4, alpha=0.5, seed=1)
+        assert sum(len(s) for s in shards) == 300
+
+    def test_small_alpha_skews_more(self):
+        labels = np.random.default_rng(0).integers(0, 2, size=2000)
+
+        def skew(alpha):
+            shards = partition_label_skew(labels, 4, alpha=alpha, seed=2)
+            rates = [labels[s].mean() for s in shards if len(s) > 10]
+            return np.std(rates)
+
+        assert skew(0.1) > skew(100.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            partition_label_skew(np.zeros(10), 2, alpha=0.0)
+
+
+class TestSmallSubset:
+    def test_default_two_percent(self):
+        subset = small_subset(10_000, seed=1)
+        assert len(subset) == 200
+
+    def test_minimum_enforced(self):
+        assert len(small_subset(100, fraction=0.01, minimum=8)) == 8
+
+    def test_never_exceeds_n(self):
+        assert len(small_subset(5, fraction=1.0, minimum=10)) == 5
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            small_subset(10, fraction=0.0)

@@ -1,0 +1,82 @@
+"""EHR tokenizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import EhrTokenizer, Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary([f"DX_{i}" for i in range(10)] + [f"RX_{i}" for i in range(5)])
+
+
+def test_layout_cls_body_sep_pad(vocab):
+    tok = EhrTokenizer(vocab, max_len=8)
+    enc = tok.encode("DX_1 DX_2")
+    assert enc.input_ids[0] == vocab.cls_id
+    assert enc.input_ids[3] == vocab.sep_id
+    assert list(enc.input_ids[4:]) == [vocab.pad_id] * 4
+    assert list(enc.attention_mask) == [True] * 4 + [False] * 4
+
+
+def test_truncation(vocab):
+    tok = EhrTokenizer(vocab, max_len=5)
+    enc = tok.encode(" ".join(f"DX_{i}" for i in range(10)))
+    assert len(enc.input_ids) == 5
+    assert enc.input_ids[-1] == vocab.sep_id  # SEP survives truncation
+    assert enc.attention_mask.all()
+
+
+def test_unknown_token_becomes_unk(vocab):
+    tok = EhrTokenizer(vocab, max_len=6)
+    enc = tok.encode("WAT DX_1")
+    assert vocab.unk_id in enc.input_ids
+
+
+def test_token_list_input(vocab):
+    tok = EhrTokenizer(vocab, max_len=6)
+    a = tok.encode(["DX_1", "DX_2"])
+    b = tok.encode("DX_1 DX_2")
+    np.testing.assert_array_equal(a.input_ids, b.input_ids)
+
+
+def test_encode_batch_shapes(vocab):
+    tok = EhrTokenizer(vocab, max_len=7)
+    ids, mask = tok.encode_batch(["DX_1", "DX_2 DX_3 RX_0"])
+    assert ids.shape == (2, 7) and mask.shape == (2, 7)
+    assert mask.dtype == bool and ids.dtype == np.int64
+
+
+def test_decode_skips_specials(vocab):
+    tok = EhrTokenizer(vocab, max_len=8)
+    enc = tok.encode("DX_1 RX_0")
+    assert tok.decode(enc.input_ids) == ["DX_1", "RX_0"]
+
+
+def test_decode_keep_specials(vocab):
+    tok = EhrTokenizer(vocab, max_len=6)
+    enc = tok.encode("DX_1")
+    decoded = tok.decode(enc.input_ids, skip_special=False)
+    assert decoded[0] == "[CLS]" and "[PAD]" in decoded
+
+
+def test_roundtrip(vocab):
+    tok = EhrTokenizer(vocab, max_len=16)
+    codes = ["DX_3", "RX_1", "DX_9"]
+    assert tok.decode(tok.encode(codes).input_ids) == codes
+
+
+def test_max_len_validation(vocab):
+    with pytest.raises(ValueError):
+        EhrTokenizer(vocab, max_len=2)
+
+
+def test_mismatched_encoding_arrays_rejected():
+    from repro.data import Encoding
+
+    with pytest.raises(ValueError):
+        Encoding(input_ids=np.zeros(3, dtype=np.int64),
+                 attention_mask=np.zeros(4, dtype=bool))

@@ -1,0 +1,83 @@
+"""Vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, UNK, Vocabulary
+
+token_strategy = st.text(alphabet=st.characters(whitelist_categories=("Lu", "Nd")),
+                         min_size=1, max_size=8)
+
+
+class TestBasics:
+    def test_specials_come_first(self):
+        vocab = Vocabulary(["A", "B"])
+        assert vocab.tokens()[:5] == list(SPECIAL_TOKENS)
+        assert vocab.pad_id == 0
+
+    def test_pad_is_zero(self):
+        assert Vocabulary([]).token_to_id(PAD) == 0
+
+    def test_all_special_ids_distinct(self):
+        vocab = Vocabulary([])
+        ids = {vocab.pad_id, vocab.cls_id, vocab.sep_id, vocab.mask_id, vocab.unk_id}
+        assert len(ids) == 5
+
+    def test_duplicates_collapsed(self):
+        vocab = Vocabulary(["A", "A", "B"])
+        assert len(vocab) == len(SPECIAL_TOKENS) + 2
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary(["A"])
+        assert vocab.token_to_id("ZZZ") == vocab.unk_id
+
+    def test_contains(self):
+        vocab = Vocabulary(["A"])
+        assert "A" in vocab and MASK in vocab and "Q" not in vocab
+
+    def test_id_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary([]).id_to_token(999)
+
+    def test_encode_decode_lists(self):
+        vocab = Vocabulary(["A", "B"])
+        ids = vocab.encode_tokens(["A", "B", "A"])
+        assert vocab.decode_ids(ids) == ["A", "B", "A"]
+
+    def test_equality(self):
+        assert Vocabulary(["A"]) == Vocabulary(["A"])
+        assert Vocabulary(["A"]) != Vocabulary(["B"])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        vocab = Vocabulary(["DX_1", "RX_2"])
+        path = vocab.save(tmp_path / "vocab.json")
+        assert Vocabulary.load(path) == vocab
+
+    def test_load_rejects_corrupt_specials(self, tmp_path):
+        path = tmp_path / "vocab.json"
+        path.write_text('["nope", "q"]')
+        with pytest.raises(ValueError):
+            Vocabulary.load(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(token_strategy, max_size=20))
+def test_roundtrip_property(tokens):
+    vocab = Vocabulary(tokens)
+    for token in tokens:
+        if token in SPECIAL_TOKENS:
+            continue
+        assert vocab.id_to_token(vocab.token_to_id(token)) == token
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(token_strategy, min_size=1, max_size=20))
+def test_ids_are_dense(tokens):
+    vocab = Vocabulary(tokens)
+    all_ids = [vocab.token_to_id(t) for t in vocab.tokens()]
+    assert sorted(all_ids) == list(range(len(vocab)))

@@ -1,0 +1,80 @@
+"""Corpus-built vocabularies and cohort persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CohortSpec,
+    build_vocab_from_corpus,
+    generate_cohort,
+    load_cohort,
+    save_cohort,
+)
+
+
+class TestVocabBuilder:
+    def test_frequency_ordering(self):
+        vocab = build_vocab_from_corpus(["A B B C C C"])
+        tokens = vocab.tokens()[5:]  # skip specials
+        assert tokens == ["C", "B", "A"]
+
+    def test_min_freq_filters(self):
+        vocab = build_vocab_from_corpus(["A A B"], min_freq=2)
+        assert "A" in vocab and "B" not in vocab
+
+    def test_max_size_truncates(self):
+        vocab = build_vocab_from_corpus(["A A A B B C"], max_size=2)
+        assert "A" in vocab and "B" in vocab and "C" not in vocab
+
+    def test_token_list_records(self):
+        vocab = build_vocab_from_corpus([["X", "Y"], ["Y"]])
+        assert vocab.tokens()[5:] == ["Y", "X"]
+
+    def test_ties_break_alphabetically(self):
+        vocab = build_vocab_from_corpus(["B A"])
+        assert vocab.tokens()[5:] == ["A", "B"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_vocab_from_corpus([], min_freq=0)
+        with pytest.raises(ValueError):
+            build_vocab_from_corpus(["A"], max_size=0)
+
+    def test_covers_generated_corpus(self):
+        from repro.data import generate_pretraining_corpus
+
+        corpus = generate_pretraining_corpus(50, seed=3)
+        vocab = build_vocab_from_corpus(corpus)
+        for line in corpus:
+            for token in line.split():
+                assert vocab.token_to_id(token) != vocab.unk_id
+
+
+class TestCohortPersistence:
+    def test_roundtrip(self, tmp_path):
+        cohort = generate_cohort(CohortSpec(n_patients=30, seed=9))
+        path = save_cohort(cohort, tmp_path / "cohort.jsonl")
+        loaded = load_cohort(path)
+        assert len(loaded) == 30
+        assert loaded.records[0].tokens == cohort.records[0].tokens
+        np.testing.assert_array_equal(loaded.labels, cohort.labels)
+        assert loaded.spec == cohort.spec
+
+    def test_covariates_survive(self, tmp_path):
+        cohort = generate_cohort(CohortSpec(n_patients=10, seed=9))
+        loaded = load_cohort(save_cohort(cohort, tmp_path / "c.jsonl"))
+        assert loaded.records[3].covariates == cohort.records[3].covariates
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_cohort(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_cohort(path)

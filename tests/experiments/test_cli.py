@@ -1,0 +1,31 @@
+"""The `python -m repro.experiments` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_table3_smoke(capsys):
+    code = main(["table3", "--scale", "smoke"])
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert code in (0, 1)  # shape checks may not all hold at smoke scale
+
+
+def test_fig3_smoke(capsys):
+    code = main(["fig3", "--scale", "smoke"])
+    out = capsys.readouterr().out
+    assert "sec/local epoch" in out
+    assert code == 0  # transcript stages must always be present
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig9"])
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["table3", "--scale", "galactic"])

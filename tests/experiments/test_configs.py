@@ -1,0 +1,81 @@
+"""Paper constants (Tables I-III) and run scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    PAPER_PARAMETERS,
+    SCALES,
+    TABLE2_MODELS,
+    TABLE3_PAPER_ACCURACY,
+    get_scale,
+)
+
+
+class TestTable1:
+    def test_eight_clients(self):
+        assert PAPER_PARAMETERS["num_clients"] == 8
+
+    def test_adam_at_1e2(self):
+        assert PAPER_PARAMETERS["optimizer"] == "Adam"
+        assert PAPER_PARAMETERS["learning_rate"] == pytest.approx(1e-2)
+
+    def test_data_counts(self):
+        data = PAPER_PARAMETERS["data"]
+        assert data["pretrain_train"] == 453_377
+        assert data["pretrain_valid"] == 8_683
+        assert data["finetune_train"] == 6_927
+        assert data["finetune_valid"] == 1_732
+
+    def test_split_is_80_20(self):
+        data = PAPER_PARAMETERS["data"]
+        total = data["finetune_train"] + data["finetune_valid"]
+        assert abs(data["finetune_train"] / total - 0.8) < 0.01
+
+
+class TestTable2:
+    def test_exact_transcription(self):
+        assert TABLE2_MODELS["bert"] == {"hidden_dim": 128, "num_heads": 6,
+                                         "num_layers": 12}
+        assert TABLE2_MODELS["bert-mini"] == {"hidden_dim": 50, "num_heads": 2,
+                                              "num_layers": 6}
+        assert TABLE2_MODELS["lstm"]["num_layers"] == 3
+
+
+class TestTable3Reference:
+    def test_shape_claims_hold_in_paper_numbers(self):
+        """The claims we reproduce must at least hold in the paper's table."""
+        ref = TABLE3_PAPER_ACCURACY
+        for model in ("bert", "bert-mini", "lstm"):
+            assert ref["fl"][model] >= ref["centralized"][model] - 5.0
+            assert ref["standalone"][model] < ref["fl"][model]
+        assert ref["fl"]["lstm"] == max(ref["fl"].values())
+        assert ref["centralized"]["lstm"] == max(ref["centralized"].values())
+
+
+class TestScales:
+    def test_paper_scale_full_counts(self):
+        scale = SCALES["paper"]
+        assert scale.cohort_size == 8_638
+        assert scale.pretrain_sequences == 453_377
+        assert scale.num_rounds == 10 and scale.local_epochs == 10
+
+    def test_all_scales_use_paper_lr(self):
+        for scale in SCALES.values():
+            assert scale.lr == pytest.approx(1e-2)
+
+    def test_get_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_get_scale_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale("bench").name == "bench"
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            get_scale("galactic")
+
+    def test_bench_models_are_table2(self):
+        assert set(SCALES["bench"].models) == {"bert", "bert-mini", "lstm"}

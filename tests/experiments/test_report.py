@@ -1,0 +1,33 @@
+"""Report rendering."""
+
+from __future__ import annotations
+
+from repro.experiments import ascii_plot, format_series, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long-header"], [["x", 1], ["yy", 22]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "long-header" in lines[1]
+    assert "---" in lines[2]
+    assert len(lines) == 5
+
+
+def test_format_series():
+    assert format_series("loss", [1.0, 0.5]) == "loss: [1.000, 0.500]"
+
+
+def test_ascii_plot_contains_series_markers():
+    plot = ascii_plot({"a": [3, 2, 1], "b": [1, 2, 3]}, width=20, height=5)
+    assert "o=a" in plot and "x=b" in plot
+    assert "3.000" in plot and "1.000" in plot
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot({}) == "(no data)"
+
+
+def test_ascii_plot_constant_series_safe():
+    plot = ascii_plot({"flat": [1.0, 1.0, 1.0]})
+    assert "flat" in plot

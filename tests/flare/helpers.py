@@ -1,0 +1,56 @@
+"""Test helpers: a toy learner with predictable arithmetic behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flare import DXO, DataKind, FLContext, Learner, MetaKey
+
+
+class ToyLearner(Learner):
+    """'Trains' by adding a fixed delta to every incoming weight.
+
+    Deterministic and instant, so controller/simulator logic can be verified
+    exactly: after FedAvg of identical learners, global weights advance by
+    ``delta`` per round.
+    """
+
+    def __init__(self, site_name: str, delta: float = 1.0, steps: int = 10,
+                 fail_on_round: int | None = None) -> None:
+        super().__init__(name="ToyLearner")
+        self.site_name = site_name
+        self.delta = delta
+        self.steps = steps
+        self.fail_on_round = fail_on_round
+        self.initialized = False
+        self.finalized = False
+        self.train_calls = 0
+        self.seen_rounds: list[int] = []
+
+    def initialize(self, fl_ctx: FLContext) -> None:
+        self.initialized = True
+
+    def train(self, dxo: DXO, fl_ctx: FLContext) -> DXO:
+        round_number = int(fl_ctx.get_prop("current_round", 0))
+        self.seen_rounds.append(round_number)
+        self.train_calls += 1
+        if self.fail_on_round is not None and round_number == self.fail_on_round:
+            raise RuntimeError("injected failure")
+        updated = {key: np.asarray(value) + self.delta
+                   for key, value in dxo.data.items()}
+        return DXO(DataKind.WEIGHTS, data=updated,
+                   meta={MetaKey.NUM_STEPS_CURRENT_ROUND: self.steps,
+                         "train_loss": 1.0 / (1 + round_number),
+                         "valid_acc": 0.5 + 0.01 * round_number})
+
+    def validate(self, dxo: DXO, fl_ctx: FLContext) -> dict[str, float]:
+        mean = float(np.mean([np.mean(np.asarray(v)) for v in dxo.data.values()]))
+        return {"valid_acc": mean, "valid_loss": -mean}
+
+    def finalize(self, fl_ctx: FLContext) -> None:
+        self.finalized = True
+
+
+def toy_weights(value: float = 0.0) -> dict[str, np.ndarray]:
+    return {"layer.weight": np.full((2, 2), value, dtype=np.float32),
+            "layer.bias": np.full(2, value, dtype=np.float32)}

@@ -1,0 +1,143 @@
+"""Aggregators: weighted FedAvg semantics and FedOpt."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flare import (
+    DXO,
+    DataKind,
+    FLContext,
+    FedOptAggregator,
+    InTimeAccumulateWeightedAggregator,
+    MetaKey,
+)
+
+
+def ctx():
+    c = FLContext(identity="server")
+    c.set_prop("current_round", 0)
+    return c
+
+
+def weights_dxo(value: float, steps: float = 1.0, kind=DataKind.WEIGHTS):
+    return DXO(kind, data={"w": np.full(3, value, dtype=np.float64)},
+               meta={MetaKey.NUM_STEPS_CURRENT_ROUND: steps})
+
+
+class TestWeightedAggregator:
+    def test_equal_weights_is_mean(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        agg.accept(weights_dxo(1.0), "a", ctx())
+        agg.accept(weights_dxo(3.0), "b", ctx())
+        out = agg.aggregate(ctx())
+        np.testing.assert_allclose(out.data["w"], 2.0)
+
+    def test_weighted_mean(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        agg.accept(weights_dxo(0.0, steps=3.0), "a", ctx())
+        agg.accept(weights_dxo(4.0, steps=1.0), "b", ctx())
+        np.testing.assert_allclose(agg.aggregate(ctx()).data["w"], 1.0)
+
+    def test_duplicate_contributor_rejected(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        assert agg.accept(weights_dxo(1.0), "a", ctx())
+        assert not agg.accept(weights_dxo(2.0), "a", ctx())
+        np.testing.assert_allclose(agg.aggregate(ctx()).data["w"], 1.0)
+
+    def test_wrong_kind_rejected(self):
+        agg = InTimeAccumulateWeightedAggregator(expected_data_kind=DataKind.WEIGHTS)
+        agg.reset()
+        assert not agg.accept(weights_dxo(1.0, kind=DataKind.WEIGHT_DIFF), "a", ctx())
+
+    def test_nonpositive_weight_rejected(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        assert not agg.accept(weights_dxo(1.0, steps=0.0), "a", ctx())
+
+    def test_mismatched_keys_rejected(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        agg.accept(weights_dxo(1.0), "a", ctx())
+        other = DXO(DataKind.WEIGHTS, data={"v": np.ones(3)},
+                    meta={MetaKey.NUM_STEPS_CURRENT_ROUND: 1})
+        assert not agg.accept(other, "b", ctx())
+
+    def test_empty_aggregate_raises(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        with pytest.raises(RuntimeError):
+            agg.aggregate(ctx())
+
+    def test_reset_clears(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.accept(weights_dxo(1.0), "a", ctx())
+        agg.reset()
+        assert agg.contributors == []
+        with pytest.raises(RuntimeError):
+            agg.aggregate(ctx())
+
+    def test_output_float32(self):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        agg.accept(weights_dxo(1.0), "a", ctx())
+        assert agg.aggregate(ctx()).data["w"].dtype == np.float32
+
+    def test_invalid_expected_kind(self):
+        with pytest.raises(ValueError):
+            InTimeAccumulateWeightedAggregator(expected_data_kind=DataKind.METRICS)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(-100, 100), st.floats(0.1, 50)),
+                    min_size=1, max_size=8))
+    def test_property_weighted_mean(self, contributions):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        for index, (value, weight) in enumerate(contributions):
+            agg.accept(weights_dxo(value, steps=weight), f"c{index}", ctx())
+        expected = (sum(v * w for v, w in contributions)
+                    / sum(w for _, w in contributions))
+        np.testing.assert_allclose(agg.aggregate(ctx()).data["w"],
+                                   expected, rtol=1e-4, atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-50, 50), st.integers(2, 6))
+    def test_property_identical_inputs_fixed_point(self, value, n):
+        agg = InTimeAccumulateWeightedAggregator()
+        agg.reset()
+        for index in range(n):
+            agg.accept(weights_dxo(value), f"c{index}", ctx())
+        np.testing.assert_allclose(agg.aggregate(ctx()).data["w"], value,
+                                   rtol=1e-5, atol=1e-5)
+
+
+class TestFedOpt:
+    def test_requires_diff_kind(self):
+        agg = FedOptAggregator()
+        agg.reset()
+        assert not agg.accept(weights_dxo(1.0, kind=DataKind.WEIGHTS), "a", ctx())
+
+    def test_first_step_magnitude_is_server_lr(self):
+        agg = FedOptAggregator(server_lr=0.5)
+        agg.reset()
+        agg.accept(weights_dxo(2.0, kind=DataKind.WEIGHT_DIFF), "a", ctx())
+        out = agg.aggregate(ctx())
+        assert out.data_kind == DataKind.WEIGHT_DIFF
+        np.testing.assert_allclose(out.data["w"], 0.5, atol=1e-4)
+
+    def test_direction_follows_mean_diff(self):
+        agg = FedOptAggregator(server_lr=1.0)
+        agg.reset()
+        agg.accept(weights_dxo(-3.0, kind=DataKind.WEIGHT_DIFF), "a", ctx())
+        out = agg.aggregate(ctx())
+        assert np.all(out.data["w"] < 0)
+
+    def test_bad_server_lr(self):
+        with pytest.raises(ValueError):
+            FedOptAggregator(server_lr=0.0)

@@ -1,0 +1,76 @@
+"""Simulator concurrency control: the max_parallel training gate."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.flare import DXO, DataKind, FLJob, MetaKey, SimulatorRunner
+from repro.flare.learner import Learner
+
+from .helpers import toy_weights
+
+
+class ConcurrencyProbe(Learner):
+    """Counts how many train() calls overlap in time."""
+
+    lock = threading.Lock()
+    active = 0
+    peak = 0
+
+    def __init__(self, site_name: str) -> None:
+        super().__init__(name="ConcurrencyProbe")
+        self.site_name = site_name
+
+    def train(self, dxo: DXO, fl_ctx) -> DXO:
+        cls = ConcurrencyProbe
+        with cls.lock:
+            cls.active += 1
+            cls.peak = max(cls.peak, cls.active)
+        time.sleep(0.05)
+        with cls.lock:
+            cls.active -= 1
+        return DXO(DataKind.WEIGHTS, data=dict(dxo.data),
+                   meta={MetaKey.NUM_STEPS_CURRENT_ROUND: 1})
+
+    def validate(self, dxo, fl_ctx):
+        return {}
+
+
+@pytest.fixture(autouse=True)
+def _reset_probe():
+    ConcurrencyProbe.active = 0
+    ConcurrencyProbe.peak = 0
+    yield
+
+
+def run_sim(max_parallel: int, n_clients: int = 6, tmp_dir=None):
+    job = FLJob(name="probe", initial_weights=toy_weights(),
+                learner_factory=ConcurrencyProbe, num_rounds=2)
+    SimulatorRunner(job, n_clients=n_clients, seed=0, run_dir=tmp_dir,
+                    max_parallel=max_parallel, capture_log=False).run()
+    return ConcurrencyProbe.peak
+
+
+def test_semaphore_caps_concurrent_training(tmp_path):
+    peak = run_sim(max_parallel=2, tmp_dir=tmp_path)
+    assert peak <= 2
+
+
+def test_serialized_when_max_parallel_one(tmp_path):
+    peak = run_sim(max_parallel=1, tmp_dir=tmp_path)
+    assert peak == 1
+
+
+def test_higher_cap_allows_overlap(tmp_path):
+    peak = run_sim(max_parallel=6, tmp_dir=tmp_path)
+    assert peak >= 2  # threads genuinely overlap when allowed
+
+
+def test_invalid_max_parallel():
+    job = FLJob(name="x", initial_weights=toy_weights(),
+                learner_factory=ConcurrencyProbe)
+    with pytest.raises(ValueError):
+        SimulatorRunner(job, n_clients=2, max_parallel=0)

@@ -1,0 +1,117 @@
+"""ScatterAndGather internals and cross-site evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    CrossSiteModelEval,
+    FLJob,
+    FLServer,
+    FederatedClient,
+    GaussianPrivacy,
+    InTimeAccumulateWeightedAggregator,
+    MessageBus,
+    Provisioner,
+    ScatterAndGather,
+    SimulatorRunner,
+    default_project,
+)
+
+from .helpers import ToyLearner, toy_weights
+
+
+@pytest.fixture()
+def federation():
+    project = default_project(n_clients=3, name="ctl")
+    kits = Provisioner(project, seed=0, key_bits=512).provision()
+    bus = MessageBus()
+    server = FLServer(kits["server"], bus, seed=0)
+    clients = []
+    for i in (1, 2, 3):
+        client = FederatedClient(kits[f"site-{i}"], ToyLearner(f"site-{i}"), bus)
+        client.register(server)
+        client.serve_in_thread()
+        clients.append(client)
+    yield server, clients
+    server.stop_clients([c.name for c in clients])
+    for client in clients:
+        client.stop()
+
+
+class TestScatterAndGather:
+    def test_round_progression(self, federation):
+        server, clients = federation
+        controller = ScatterAndGather(
+            server=server, client_names=[c.name for c in clients],
+            initial_weights=toy_weights(0.0),
+            aggregator=InTimeAccumulateWeightedAggregator(), num_rounds=4)
+        stats = controller.run()
+        assert stats.num_rounds == 4
+        np.testing.assert_allclose(controller.global_weights["layer.weight"], 4.0)
+
+    def test_client_metrics_recorded(self, federation):
+        server, clients = federation
+        controller = ScatterAndGather(
+            server=server, client_names=[c.name for c in clients],
+            initial_weights=toy_weights(),
+            aggregator=InTimeAccumulateWeightedAggregator(), num_rounds=2)
+        stats = controller.run()
+        record = stats.rounds[0].client_records[0]
+        assert record.num_steps == 10
+        assert 0 < record.train_loss <= 1.0
+
+    def test_server_result_filters_applied(self, federation):
+        server, clients = federation
+        noisy = GaussianPrivacy(sigma0=10.0, seed=3)
+        controller = ScatterAndGather(
+            server=server, client_names=[c.name for c in clients],
+            initial_weights=toy_weights(0.0),
+            aggregator=InTimeAccumulateWeightedAggregator(), num_rounds=1,
+            result_filters=[noisy])
+        controller.run()
+        # aggregated weights are ~1.0 + large noise: extremely unlikely ≈1.0
+        assert not np.allclose(controller.global_weights["layer.weight"], 1.0,
+                               atol=1e-3)
+
+    def test_validation_errors(self, federation):
+        server, clients = federation
+        with pytest.raises(ValueError):
+            ScatterAndGather(server=server, client_names=[],
+                             initial_weights=toy_weights(),
+                             aggregator=InTimeAccumulateWeightedAggregator())
+        with pytest.raises(ValueError):
+            ScatterAndGather(server=server, client_names=["site-1"],
+                             initial_weights=toy_weights(),
+                             aggregator=InTimeAccumulateWeightedAggregator(),
+                             num_rounds=0)
+
+
+class TestCrossSiteEval:
+    def test_matrix_of_metrics(self, federation):
+        server, clients = federation
+        workflow = CrossSiteModelEval(server, [c.name for c in clients])
+        results = workflow.evaluate({
+            "global": toy_weights(2.0),
+            "site-1-best": toy_weights(5.0),
+        })
+        assert set(results) == {"global", "site-1-best"}
+        for per_site in results.values():
+            assert set(per_site) == {"site-1", "site-2", "site-3"}
+        # ToyLearner.validate returns the mean weight value
+        assert results["global"]["site-1"]["valid_acc"] == pytest.approx(2.0)
+        assert results["site-1-best"]["site-2"]["valid_acc"] == pytest.approx(5.0)
+
+    def test_as_matrix(self, federation):
+        server, clients = federation
+        workflow = CrossSiteModelEval(server, [c.name for c in clients])
+        results = workflow.evaluate({"global": toy_weights(1.0)})
+        models, sites, matrix = CrossSiteModelEval.as_matrix(results)
+        assert models == ["global"] and len(sites) == 3
+        np.testing.assert_allclose(matrix, 1.0)
+
+    def test_requires_clients(self, federation):
+        server, _ = federation
+        with pytest.raises(ValueError):
+            CrossSiteModelEval(server, [])

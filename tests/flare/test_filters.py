@@ -1,0 +1,138 @@
+"""Privacy filters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    DXO,
+    DataKind,
+    ExcludeVars,
+    FLContext,
+    FilterChain,
+    GaussianPrivacy,
+    NormClipPrivacy,
+    PercentilePrivacy,
+)
+
+
+def ctx():
+    return FLContext(identity="site-1")
+
+
+def weights_dxo():
+    rng = np.random.default_rng(0)
+    return DXO(DataKind.WEIGHTS,
+               data={"encoder.weight": rng.normal(size=(4, 4)),
+                     "head.weight": rng.normal(size=(2, 4)),
+                     "head.bias": rng.normal(size=2)},
+               meta={"site": "site-1"})
+
+
+class TestExcludeVars:
+    def test_glob_exclusion(self):
+        out = ExcludeVars(["head.*"]).process(weights_dxo(), ctx())
+        assert set(out.data) == {"encoder.weight"}
+
+    def test_meta_preserved(self):
+        out = ExcludeVars(["head.*"]).process(weights_dxo(), ctx())
+        assert out.meta["site"] == "site-1"
+
+    def test_no_match_keeps_all(self):
+        out = ExcludeVars(["nothing.*"]).process(weights_dxo(), ctx())
+        assert len(out.data) == 3
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            ExcludeVars([])
+
+
+class TestGaussianPrivacy:
+    def test_adds_noise(self):
+        dxo = weights_dxo()
+        out = GaussianPrivacy(sigma0=0.1, seed=1).process(dxo, ctx())
+        assert not np.allclose(out.data["encoder.weight"], dxo.data["encoder.weight"])
+
+    def test_sigma_zero_is_identity(self):
+        dxo = weights_dxo()
+        out = GaussianPrivacy(sigma0=0.0).process(dxo, ctx())
+        assert out is dxo
+
+    def test_noise_scale_tracks_sigma(self):
+        dxo = weights_dxo()
+        small = GaussianPrivacy(sigma0=0.01, seed=2).process(dxo, ctx())
+        large = GaussianPrivacy(sigma0=1.0, seed=2).process(dxo, ctx())
+        err_small = np.abs(small.data["encoder.weight"] - dxo.data["encoder.weight"]).mean()
+        err_large = np.abs(large.data["encoder.weight"] - dxo.data["encoder.weight"]).mean()
+        assert err_large > 10 * err_small
+
+    def test_metrics_passthrough(self):
+        metrics = DXO(DataKind.METRICS, data={"acc": 0.9})
+        assert GaussianPrivacy(sigma0=1.0).process(metrics, ctx()) is metrics
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianPrivacy(sigma0=-1.0)
+
+
+class TestPercentilePrivacy:
+    def test_clamps_outliers(self):
+        data = {"w": np.concatenate([np.zeros(98), [100.0, -100.0]])}
+        dxo = DXO(DataKind.WEIGHT_DIFF, data=data)
+        out = PercentilePrivacy(percentile=5.0).process(dxo, ctx())
+        assert out.data["w"].max() < 100.0
+        assert out.data["w"].min() > -100.0
+
+    def test_interior_values_preserved(self):
+        data = {"w": np.linspace(-1, 1, 101)}
+        out = PercentilePrivacy(percentile=10.0).process(
+            DXO(DataKind.WEIGHTS, data=data), ctx())
+        middle = out.data["w"][40:60]
+        np.testing.assert_allclose(middle, np.linspace(-1, 1, 101)[40:60])
+
+    def test_tiny_tensor_passthrough(self):
+        dxo = DXO(DataKind.WEIGHTS, data={"b": np.array([5.0])})
+        out = PercentilePrivacy(percentile=10.0).process(dxo, ctx())
+        np.testing.assert_array_equal(out.data["b"], [5.0])
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            PercentilePrivacy(percentile=50.0)
+
+
+class TestNormClip:
+    def test_clips_to_max_norm(self):
+        dxo = DXO(DataKind.WEIGHT_DIFF, data={"w": np.full(4, 10.0)})
+        out = NormClipPrivacy(max_norm=1.0).process(dxo, ctx())
+        norm = np.sqrt(sum(np.sum(np.asarray(v) ** 2) for v in out.data.values()))
+        assert np.isclose(norm, 1.0, atol=1e-5)
+
+    def test_under_norm_untouched(self):
+        dxo = DXO(DataKind.WEIGHT_DIFF, data={"w": np.full(4, 0.01)})
+        assert NormClipPrivacy(max_norm=10.0).process(dxo, ctx()) is dxo
+
+    def test_global_across_tensors(self):
+        dxo = DXO(DataKind.WEIGHT_DIFF,
+                  data={"a": np.full(4, 3.0), "b": np.full(4, 4.0)})
+        out = NormClipPrivacy(max_norm=1.0).process(dxo, ctx())
+        # direction preserved: ratio a/b stays 3/4
+        np.testing.assert_allclose(out.data["a"] / out.data["b"], 0.75)
+
+    def test_bad_norm(self):
+        with pytest.raises(ValueError):
+            NormClipPrivacy(max_norm=0.0)
+
+
+class TestFilterChain:
+    def test_applies_in_order(self):
+        chain = FilterChain([ExcludeVars(["head.*"]),
+                             NormClipPrivacy(max_norm=0.5)])
+        out = chain.process(weights_dxo(), ctx())
+        assert set(out.data) == {"encoder.weight"}
+        norm = np.linalg.norm(out.data["encoder.weight"])
+        assert norm <= 0.5 + 1e-6
+
+    def test_empty_chain_identity(self):
+        dxo = weights_dxo()
+        assert FilterChain([]).process(dxo, ctx()) is dxo

@@ -1,0 +1,88 @@
+"""FLContext and the event/logging component base."""
+
+from __future__ import annotations
+
+from repro.flare import FLComponent, FLContext, LogCapture
+
+
+class TestFLContext:
+    def test_props(self):
+        ctx = FLContext(identity="server", job_id="j1")
+        ctx.set_prop("round", 3)
+        assert ctx.get_prop("round") == 3
+        assert ctx.get_prop("missing", "d") == "d"
+        ctx.remove_prop("round")
+        assert ctx.get_prop("round") is None
+
+    def test_peer_props(self):
+        ctx = FLContext()
+        ctx.set_peer_prop("name", "site-1")
+        assert ctx.get_peer_prop("name") == "site-1"
+
+    def test_clone_is_independent(self):
+        ctx = FLContext(identity="server")
+        ctx.set_prop("a", 1)
+        clone = ctx.clone(identity="site-1")
+        clone.set_prop("a", 2)
+        assert ctx.get_prop("a") == 1
+        assert clone.identity == "site-1"
+
+    def test_props_snapshot(self):
+        ctx = FLContext()
+        ctx.set_prop("a", 1)
+        snapshot = ctx.props()
+        snapshot["a"] = 99
+        assert ctx.get_prop("a") == 1
+
+    def test_repr(self):
+        assert "server" in repr(FLContext(identity="server"))
+
+
+class TestFLComponent:
+    def test_default_name_is_class_name(self):
+        class MyThing(FLComponent):
+            pass
+
+        assert MyThing().name == "MyThing"
+
+    def test_events_delivered_to_targets(self):
+        seen = []
+
+        class Listener(FLComponent):
+            def handle_event(self, event_type, fl_ctx):
+                seen.append((self.name, event_type))
+
+        a, b = Listener(name="a"), Listener(name="b")
+        FLComponent().fire_event("ROUND_STARTED", FLContext(), targets=[a, b])
+        assert seen == [("a", "ROUND_STARTED"), ("b", "ROUND_STARTED")]
+
+    def test_fire_event_defaults_to_self(self):
+        seen = []
+
+        class Listener(FLComponent):
+            def handle_event(self, event_type, fl_ctx):
+                seen.append(event_type)
+
+        Listener().fire_event("X", FLContext())
+        assert seen == ["X"]
+
+    def test_log_capture_collects_lines(self):
+        capture = LogCapture().attach()
+        try:
+            component = FLComponent(name="TestComp")
+            component.log_info("hello %s", "world")
+        finally:
+            capture.detach()
+        assert any("TestComp" in line and "hello world" in line
+                   for line in capture.lines)
+
+    def test_log_format_matches_fig3_style(self):
+        capture = LogCapture().attach()
+        try:
+            FLComponent(name="ScatterAndGather").log_info("Round %d started.", 0)
+        finally:
+            capture.detach()
+        line = capture.lines[-1]
+        # "2023-04-07 06:33:33,911 - ScatterAndGather - INFO - ..." shape
+        assert " - ScatterAndGather - INFO - Round 0 started." in line
+        assert line[:4].isdigit()

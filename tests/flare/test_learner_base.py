@@ -1,0 +1,27 @@
+"""Learner base class contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flare import DXO, DataKind, FLContext, Learner
+
+
+def test_train_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Learner().train(DXO(DataKind.WEIGHTS, data={}), FLContext())
+
+
+def test_validate_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Learner().validate(DXO(DataKind.WEIGHTS, data={}), FLContext())
+
+
+def test_initialize_and_finalize_default_noop():
+    learner = Learner()
+    learner.initialize(FLContext())
+    learner.finalize(FLContext())
+
+
+def test_learner_is_component_with_name():
+    assert Learner().name == "Learner"

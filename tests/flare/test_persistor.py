@@ -1,0 +1,61 @@
+"""Model persistor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import FLContext, ModelPersistor
+
+
+def ctx(round_number=0):
+    c = FLContext(identity="server")
+    c.set_prop("current_round", round_number)
+    return c
+
+
+def weights(value):
+    return {"w": np.full(3, float(value))}
+
+
+def test_save_and_load_last(tmp_path):
+    persistor = ModelPersistor(tmp_path)
+    persistor.save(weights(1.0), ctx())
+    np.testing.assert_allclose(persistor.load_last()["w"], 1.0)
+
+
+def test_best_tracks_maximum_metric(tmp_path):
+    persistor = ModelPersistor(tmp_path)
+    persistor.save(weights(1.0), ctx(0), metric=0.5)
+    persistor.save(weights(2.0), ctx(1), metric=0.9)
+    persistor.save(weights(3.0), ctx(2), metric=0.7)
+    np.testing.assert_allclose(persistor.load_best()["w"], 2.0)
+    np.testing.assert_allclose(persistor.load_last()["w"], 3.0)
+    assert persistor.best_metric == 0.9
+
+
+def test_no_metric_does_not_update_best(tmp_path):
+    persistor = ModelPersistor(tmp_path)
+    persistor.save(weights(1.0), ctx(0), metric=0.6)
+    persistor.save(weights(2.0), ctx(1))  # metric-less round
+    np.testing.assert_allclose(persistor.load_best()["w"], 1.0)
+
+
+def test_best_falls_back_to_last(tmp_path):
+    persistor = ModelPersistor(tmp_path)
+    persistor.save(weights(4.0), ctx())
+    np.testing.assert_allclose(persistor.load_best()["w"], 4.0)
+
+
+def test_load_before_save_raises(tmp_path):
+    persistor = ModelPersistor(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        persistor.load_last()
+    with pytest.raises(FileNotFoundError):
+        persistor.load_best()
+
+
+def test_creates_run_dir(tmp_path):
+    target = tmp_path / "deep" / "run"
+    ModelPersistor(target)
+    assert target.is_dir()

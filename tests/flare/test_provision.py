@@ -1,0 +1,94 @@
+"""Provisioning: project specs and startup kits."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    FLRole,
+    ParticipantSpec,
+    ProjectSpec,
+    Provisioner,
+    default_project,
+    make_join_token,
+)
+
+
+class TestProjectSpec:
+    def test_default_project_topology(self):
+        project = default_project(n_clients=8)
+        assert project.server.name == "server"
+        assert len(project.clients) == 8
+        assert project.clients[0].name == "site-1"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ProjectSpec("p", (ParticipantSpec("a", "o", FLRole.SERVER),
+                              ParticipantSpec("a", "o", FLRole.CLIENT)))
+
+    def test_exactly_one_server(self):
+        with pytest.raises(ValueError, match="server"):
+            ProjectSpec("p", (ParticipantSpec("c", "o", FLRole.CLIENT),))
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="role"):
+            ParticipantSpec("x", "o", "superuser")
+
+    def test_bad_client_count(self):
+        with pytest.raises(ValueError):
+            default_project(n_clients=0)
+
+
+class TestProvisioner:
+    def test_kit_per_participant(self):
+        project = default_project(n_clients=3)
+        kits = Provisioner(project, seed=1, key_bits=512).provision()
+        assert set(kits) == {p.name for p in project.participants}
+
+    def test_certificates_chain_to_ca(self):
+        project = default_project(n_clients=2)
+        provisioner = Provisioner(project, seed=2, key_bits=512)
+        kits = provisioner.provision()
+        for kit in kits.values():
+            assert provisioner.ca.verify_certificate(kit.certificate)
+            assert kit.ca_public_key == provisioner.ca.public_key
+
+    def test_keys_are_distinct(self):
+        kits = Provisioner(default_project(n_clients=3), seed=3,
+                           key_bits=512).provision()
+        moduli = [kit.keypair.n for kit in kits.values()]
+        assert len(set(moduli)) == len(moduli)
+
+    def test_write_kits(self, tmp_path):
+        provisioner = Provisioner(default_project(n_clients=2), seed=4, key_bits=512)
+        kits = provisioner.provision()
+        root = provisioner.write_kits(kits, tmp_path)
+        info = json.loads((root / "site-1" / "startup" / "fed_info.json").read_text())
+        assert info["participant"] == "site-1"
+        assert info["role"] == "client"
+
+    def test_kit_summary_fields(self):
+        kits = Provisioner(default_project(n_clients=1), seed=5,
+                           key_bits=512).provision()
+        summary = kits["server"].summary()
+        assert summary["role"] == "server" and summary["public_key_bits"] >= 511
+
+
+class TestJoinToken:
+    def test_uuid4_format(self):
+        token = make_join_token(np.random.default_rng(0))
+        parts = token.split("-")
+        assert [len(p) for p in parts] == [8, 4, 4, 4, 12]
+        assert parts[2][0] == "4"  # version nibble
+
+    def test_deterministic_per_rng_state(self):
+        a = make_join_token(np.random.default_rng(1))
+        b = make_join_token(np.random.default_rng(1))
+        assert a == b
+
+    def test_successive_tokens_distinct(self):
+        rng = np.random.default_rng(2)
+        assert make_join_token(rng) != make_join_token(rng)

@@ -1,0 +1,77 @@
+"""FullModelShareableGenerator: weights ↔ shareable/DXO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    DXO,
+    DataKind,
+    FLContext,
+    FullModelShareableGenerator,
+    ReservedKey,
+    to_dxo,
+)
+
+
+def ctx(round_number=2):
+    c = FLContext(identity="server")
+    c.set_prop(ReservedKey.CURRENT_ROUND, round_number)
+    return c
+
+
+def test_learnable_to_shareable_carries_weights_and_round():
+    gen = FullModelShareableGenerator()
+    weights = {"a": np.ones(2), "b": np.zeros((2, 2))}
+    shareable = gen.learnable_to_shareable(weights, ctx(round_number=5))
+    assert shareable.get_header(ReservedKey.ROUND_NUMBER) == 5
+    dxo = to_dxo(shareable)
+    assert dxo.data_kind == DataKind.WEIGHTS
+    np.testing.assert_array_equal(dxo.data["a"], np.ones(2))
+
+
+def test_full_weights_replace():
+    gen = FullModelShareableGenerator()
+    current = {"a": np.zeros(2)}
+    dxo = DXO(DataKind.WEIGHTS, data={"a": np.full(2, 7.0)})
+    out = gen.dxo_to_learnable(dxo, current)
+    np.testing.assert_array_equal(out["a"], 7.0)
+
+
+def test_diff_applied_additively():
+    gen = FullModelShareableGenerator()
+    current = {"a": np.full(3, 10.0)}
+    dxo = DXO(DataKind.WEIGHT_DIFF, data={"a": np.full(3, -1.5)})
+    out = gen.dxo_to_learnable(dxo, current)
+    np.testing.assert_allclose(out["a"], 8.5)
+
+
+def test_diff_with_missing_key_keeps_current():
+    gen = FullModelShareableGenerator()
+    current = {"a": np.ones(2), "b": np.full(2, 4.0)}
+    dxo = DXO(DataKind.WEIGHT_DIFF, data={"a": np.ones(2)})
+    out = gen.dxo_to_learnable(dxo, current)
+    np.testing.assert_allclose(out["a"], 2.0)
+    np.testing.assert_allclose(out["b"], 4.0)
+
+
+def test_diff_with_unknown_key_rejected():
+    gen = FullModelShareableGenerator()
+    dxo = DXO(DataKind.WEIGHT_DIFF, data={"zzz": np.ones(2)})
+    with pytest.raises(KeyError):
+        gen.dxo_to_learnable(dxo, {"a": np.ones(2)})
+
+
+def test_metrics_kind_rejected():
+    gen = FullModelShareableGenerator()
+    with pytest.raises(ValueError):
+        gen.dxo_to_learnable(DXO(DataKind.METRICS, data={}), {})
+
+
+def test_shareable_roundtrip():
+    gen = FullModelShareableGenerator()
+    weights = {"w": np.arange(6.0).reshape(2, 3)}
+    shareable = gen.learnable_to_shareable(weights, ctx())
+    out = gen.shareable_to_learnable(shareable, {}, ctx())
+    np.testing.assert_array_equal(out["w"], weights["w"])

@@ -1,0 +1,55 @@
+"""Run statistics container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import ClientRoundRecord, RoundRecord, RunStats
+
+
+def make_stats():
+    stats = RunStats()
+    for round_number, acc in enumerate([0.5, 0.8, 0.7]):
+        record = RoundRecord(round_number=round_number,
+                             global_metrics={"valid_acc": acc})
+        for client in ("site-1", "site-2"):
+            record.client_records.append(ClientRoundRecord(
+                client=client, round_number=round_number, train_loss=1.0,
+                valid_acc=acc, num_steps=10, seconds=2.0 + round_number))
+        stats.add_round(record)
+    return stats
+
+
+def test_history():
+    assert make_stats().global_metric_history("valid_acc") == [0.5, 0.8, 0.7]
+
+
+def test_best_and_final():
+    stats = make_stats()
+    assert stats.best_global_metric("valid_acc") == 0.8
+    assert stats.final_global_metric("valid_acc") == 0.7
+
+
+def test_missing_metric_raises():
+    with pytest.raises(KeyError):
+        make_stats().best_global_metric("f1")
+    with pytest.raises(KeyError):
+        make_stats().final_global_metric("f1")
+
+
+def test_mean_seconds_per_local_epoch():
+    assert make_stats().mean_seconds_per_local_epoch() == pytest.approx(3.0)
+
+
+def test_mean_seconds_empty():
+    assert RunStats().mean_seconds_per_local_epoch() == 0.0
+
+
+def test_client_history():
+    history = make_stats().client_metric_history("site-1")
+    assert [r.round_number for r in history] == [0, 1, 2]
+
+
+def test_num_rounds():
+    assert make_stats().num_rounds == 3

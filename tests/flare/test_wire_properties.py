@@ -1,0 +1,53 @@
+"""Property-based tests of the wire formats (DXO / Shareable / transport)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flare import DXO, DataKind, MessageBus, Shareable, from_dxo, to_dxo
+from repro.flare.transport import _decode_shareable, _encode_shareable
+
+header_keys = st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+                      min_size=1, max_size=12)
+header_values = st.one_of(st.integers(-10**6, 10**6),
+                          st.floats(-1e6, 1e6, allow_nan=False),
+                          st.text(max_size=30), st.booleans(), st.none())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(header_keys, header_values, max_size=6))
+def test_shareable_header_roundtrip(headers):
+    shareable = Shareable(headers)
+    restored = _decode_shareable(_encode_shareable(shareable))
+    assert dict(restored) == dict(shareable)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.dictionaries(header_keys, st.floats(-1e6, 1e6, allow_nan=False),
+                       min_size=1, max_size=4),
+       st.integers(1, 40))
+def test_dxo_through_shareable_roundtrip(metrics, n):
+    dxo = DXO(DataKind.WEIGHTS,
+              data={"w": np.arange(float(n))},
+              meta=dict(metrics))
+    shareable = from_dxo(dxo)
+    restored = to_dxo(_decode_shareable(_encode_shareable(shareable)))
+    np.testing.assert_array_equal(restored.data["w"], np.arange(float(n)))
+    assert restored.meta == dxo.meta
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 255), min_size=0, max_size=64))
+def test_bus_delivers_arbitrary_payload_bytes(byte_values):
+    bus = MessageBus()
+    bus.register_endpoint("a")
+    bus.register_endpoint("b")
+    bus.install_session_key("a", b"ka")
+    bus.install_session_key("b", b"kb")
+    shareable = Shareable({"blob": "x"})
+    shareable["DXO"] = bytes(byte_values)
+    bus.send_shareable("a", "b", "topic", shareable)
+    _, _, received = bus.receive("b", timeout=1.0)
+    assert received.get("DXO", b"") == bytes(byte_values)

@@ -1,0 +1,135 @@
+"""BERT model family: shapes, tying, transfer, learnability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, functional as F
+from repro.models import (
+    BertConfig,
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    BertModel,
+)
+
+
+def tiny_config(vocab=30, **kw):
+    defaults = dict(hidden_dim=16, num_heads=2, num_layers=2, max_seq_len=12,
+                    dropout=0.0)
+    defaults.update(kw)
+    return BertConfig(vocab_size=vocab, **defaults)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestEncoder:
+    def test_hidden_shape(self, rng):
+        model = BertModel(tiny_config(), rng=rng)
+        ids = rng.integers(1, 30, size=(3, 8))
+        assert model(ids).shape == (3, 8, 16)
+
+    def test_mask_respected(self, rng):
+        model = BertModel(tiny_config(), rng=rng)
+        model.eval()
+        ids = rng.integers(1, 30, size=(1, 6))
+        mask = np.array([[True] * 4 + [False] * 2])
+        base = model(ids, attention_mask=mask).data.copy()
+        ids2 = ids.copy()
+        ids2[0, 5] = 3  # change a padded token
+        out = model(ids2, attention_mask=mask).data
+        np.testing.assert_allclose(base[0, :4], out[0, :4], atol=1e-5)
+
+    def test_positions_matter(self, rng):
+        model = BertModel(tiny_config(), rng=rng)
+        model.eval()
+        ids = rng.integers(1, 30, size=(1, 6))
+        swapped = ids[:, ::-1].copy()
+        assert not np.allclose(model(ids).data[0, 0], model(swapped).data[0, 0],
+                               atol=1e-4)
+
+
+class TestClassifier:
+    def test_logit_shape(self, rng):
+        model = BertForSequenceClassification(tiny_config(), rng=rng)
+        ids = rng.integers(1, 30, size=(4, 8))
+        assert model(ids).shape == (4, 2)
+
+    def test_overfits_tiny_batch(self, rng):
+        """The full pipeline can drive training loss toward zero."""
+        model = BertForSequenceClassification(tiny_config(), rng=rng)
+        ids = rng.integers(1, 30, size=(8, 8))
+        labels = np.array([0, 1] * 4)
+        opt = Adam(model.parameters(), lr=5e-3)
+        first = None
+        for _ in range(60):
+            loss = F.cross_entropy(model(ids), labels)
+            if first is None:
+                first = float(loss.data)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.25 * first
+
+    def test_load_encoder_weights(self, rng):
+        pretrained = BertForMaskedLM(tiny_config(), rng=np.random.default_rng(1))
+        classifier = BertForSequenceClassification(tiny_config(),
+                                                   rng=np.random.default_rng(2))
+        loaded = classifier.load_encoder_weights(pretrained.encoder_state_dict())
+        assert loaded > 0
+        np.testing.assert_allclose(
+            classifier.bert.token_embedding.weight.data,
+            pretrained.bert.token_embedding.weight.data)
+
+    def test_transfer_keeps_head_fresh(self, rng):
+        pretrained = BertForMaskedLM(tiny_config(), rng=np.random.default_rng(1))
+        classifier = BertForSequenceClassification(tiny_config(),
+                                                   rng=np.random.default_rng(2))
+        head_before = classifier.head.classifier.weight.data.copy()
+        classifier.load_encoder_weights(pretrained.encoder_state_dict())
+        np.testing.assert_array_equal(classifier.head.classifier.weight.data,
+                                      head_before)
+
+
+class TestMaskedLM:
+    def test_logit_shape(self, rng):
+        model = BertForMaskedLM(tiny_config(), rng=rng)
+        ids = rng.integers(1, 30, size=(2, 8))
+        assert model(ids).shape == (2, 8, 30)
+
+    def test_decoder_tied_to_embedding(self, rng):
+        model = BertForMaskedLM(tiny_config(), rng=rng)
+        assert model.mlm_head.decoder_weight is model.bert.token_embedding.weight
+
+    def test_tied_parameter_counted_once(self, rng):
+        model = BertForMaskedLM(tiny_config(), rng=rng)
+        ids = [id(p) for p in model.parameters()]
+        assert len(ids) == len(set(ids))
+
+    def test_encoder_state_dict_only_encoder(self, rng):
+        model = BertForMaskedLM(tiny_config(), rng=rng)
+        keys = model.encoder_state_dict().keys()
+        assert keys and all(key.startswith("bert.") for key in keys)
+
+    def test_mlm_learns_to_unmask(self, rng):
+        """Loss on a fixed masked batch falls with training."""
+        model = BertForMaskedLM(tiny_config(), rng=rng)
+        ids = rng.integers(5, 30, size=(8, 8))
+        corrupted = ids.copy()
+        corrupted[:, 3] = 3  # [MASK]
+        targets = np.full_like(ids, -100)
+        targets[:, 3] = ids[:, 3]
+        opt = Adam(model.parameters(), lr=5e-3)
+        losses = []
+        for _ in range(40):
+            logits = model(corrupted)
+            loss = F.cross_entropy(logits.reshape(-1, 30), targets.reshape(-1),
+                                   ignore_index=-100)
+            losses.append(float(loss.data))
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert losses[-1] < 0.5 * losses[0]

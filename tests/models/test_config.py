@@ -1,0 +1,60 @@
+"""Model configs and Table II presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import BertConfig, LstmConfig, PRESETS, get_preset
+
+
+class TestTable2Presets:
+    """The presets must transcribe Table II exactly."""
+
+    def test_bert(self):
+        config = get_preset("bert", vocab_size=100)
+        assert isinstance(config, BertConfig)
+        assert (config.hidden_dim, config.num_heads, config.num_layers) == (128, 6, 12)
+
+    def test_bert_mini(self):
+        config = get_preset("bert-mini", vocab_size=100)
+        assert (config.hidden_dim, config.num_heads, config.num_layers) == (50, 2, 6)
+
+    def test_lstm(self):
+        config = get_preset("lstm", vocab_size=100)
+        assert isinstance(config, LstmConfig)
+        assert (config.hidden_dim, config.num_layers) == (128, 3)
+
+    def test_tiny_variants_exist(self):
+        assert "bert-tiny" in PRESETS and "lstm-tiny" in PRESETS
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            get_preset("gpt-5", vocab_size=10)
+
+    def test_overrides(self):
+        config = get_preset("bert", vocab_size=100, num_layers=2, max_seq_len=16)
+        assert config.num_layers == 2 and config.max_seq_len == 16
+        assert config.hidden_dim == 128  # untouched
+
+
+class TestValidation:
+    def test_bad_vocab(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=0)
+        with pytest.raises(ValueError):
+            LstmConfig(vocab_size=-1)
+
+    def test_bad_layers(self):
+        with pytest.raises(ValueError):
+            BertConfig(vocab_size=10, num_layers=0)
+        with pytest.raises(ValueError):
+            LstmConfig(vocab_size=10, num_layers=0)
+
+    def test_to_dict(self):
+        d = get_preset("lstm", vocab_size=30).to_dict()
+        assert d["vocab_size"] == 30 and d["name"] == "lstm"
+
+    def test_frozen(self):
+        config = get_preset("bert", vocab_size=10)
+        with pytest.raises(Exception):
+            config.hidden_dim = 1  # type: ignore[misc]

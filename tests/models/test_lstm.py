@@ -1,0 +1,69 @@
+"""LSTM classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, functional as F
+from repro.models import LstmClassifier, LstmConfig
+
+
+def tiny_config(**kw):
+    defaults = dict(vocab_size=30, hidden_dim=12, num_layers=2, dropout=0.0)
+    defaults.update(kw)
+    return LstmConfig(**defaults)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(33)
+
+
+def test_logit_shape(rng):
+    model = LstmClassifier(tiny_config(), rng=rng)
+    ids = rng.integers(1, 30, size=(4, 7))
+    assert model(ids).shape == (4, 2)
+
+
+def test_padding_invariance(rng):
+    """Extra padded positions must not change the prediction."""
+    model = LstmClassifier(tiny_config(), rng=rng)
+    model.eval()
+    ids = rng.integers(1, 30, size=(1, 4))
+    mask4 = np.ones((1, 4), dtype=bool)
+    padded = np.concatenate([ids, np.zeros((1, 3), dtype=np.int64)], axis=1)
+    mask7 = np.concatenate([mask4, np.zeros((1, 3), dtype=bool)], axis=1)
+    np.testing.assert_allclose(model(ids, attention_mask=mask4).data,
+                               model(padded, attention_mask=mask7).data, atol=1e-5)
+
+
+def test_custom_embed_dim(rng):
+    model = LstmClassifier(tiny_config(embed_dim=5), rng=rng)
+    assert model.embedding.embedding_dim == 5
+    assert model(rng.integers(1, 30, size=(2, 6))).shape == (2, 2)
+
+
+def test_overfits_tiny_batch(rng):
+    model = LstmClassifier(tiny_config(), rng=rng)
+    ids = rng.integers(1, 30, size=(8, 6))
+    labels = np.array([0, 1] * 4)
+    opt = Adam(model.parameters(), lr=1e-2)
+    first = None
+    for _ in range(60):
+        loss = F.cross_entropy(model(ids), labels)
+        if first is None:
+            first = float(loss.data)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+    assert float(loss.data) < 0.25 * first
+
+
+def test_order_sensitivity(rng):
+    """A recurrent model must distinguish token order."""
+    model = LstmClassifier(tiny_config(), rng=rng)
+    model.eval()
+    ids = np.array([[5, 9, 13, 21]])
+    reversed_ids = ids[:, ::-1].copy()
+    assert not np.allclose(model(ids).data, model(reversed_ids).data, atol=1e-5)

@@ -1,0 +1,68 @@
+"""Analytic parameter-count checks for the Table II models.
+
+These pin down the architecture: if a layer silently gains or loses weights
+the counts drift and these tests fail.
+"""
+
+from __future__ import annotations
+
+from repro.models import (
+    BertConfig,
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    LstmClassifier,
+    LstmConfig,
+)
+
+import numpy as np
+
+
+def bert_encoder_params(vocab, dim, heads, layers, max_len, head_dim, ffn=None):
+    ffn = ffn or 4 * dim
+    inner = heads * head_dim
+    embeddings = vocab * dim + max_len * dim + 2 * dim  # tok + pos + LN
+    attention = 3 * (dim * inner + inner) + inner * dim + dim  # qkv + out
+    layer = attention + 2 * dim  # attn LN
+    layer += dim * ffn + ffn + ffn * dim + dim  # ffn in/out
+    layer += 2 * dim  # ffn LN
+    return embeddings + layers * layer
+
+
+def test_bert_encoder_count_matches_analytic():
+    config = BertConfig(vocab_size=100, hidden_dim=128, num_heads=6,
+                        num_layers=12, max_seq_len=64)
+    model = BertForSequenceClassification(config, rng=np.random.default_rng(0))
+    encoder = sum(p.size for name, p in model.named_parameters()
+                  if name.startswith("bert."))
+    expected = bert_encoder_params(100, 128, 6, 12, 64, head_dim=22)
+    assert encoder == expected
+
+
+def test_classification_head_count():
+    config = BertConfig(vocab_size=50, hidden_dim=16, num_heads=2,
+                        num_layers=1, max_seq_len=8)
+    model = BertForSequenceClassification(config, rng=np.random.default_rng(0))
+    head = sum(p.size for name, p in model.named_parameters()
+               if name.startswith("head."))
+    # dense(16x16+16) + classifier(2x16+2)
+    assert head == 16 * 16 + 16 + 2 * 16 + 2
+
+
+def test_mlm_head_count_with_tying():
+    config = BertConfig(vocab_size=50, hidden_dim=16, num_heads=2,
+                        num_layers=1, max_seq_len=8)
+    model = BertForMaskedLM(config, rng=np.random.default_rng(0))
+    # tied decoder weight must not add to the unique parameter count
+    unique = model.num_parameters()
+    named_total = sum(p.size for _, p in model.named_parameters())
+    assert named_total - unique == 50 * 16  # the shared embedding counted twice
+
+
+def test_lstm_count_matches_analytic():
+    config = LstmConfig(vocab_size=100, hidden_dim=128, num_layers=3)
+    model = LstmClassifier(config, rng=np.random.default_rng(0))
+    embed = 100 * 128
+    cell0 = 4 * 128 * (128 + 128) + 4 * 128
+    cell_rest = 2 * (4 * 128 * (128 + 128) + 4 * 128)
+    head = 2 * 128 + 2
+    assert model.num_parameters() == embed + cell0 + cell_rest + head

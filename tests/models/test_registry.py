@@ -1,0 +1,61 @@
+"""Model factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BertForMaskedLM,
+    BertForSequenceClassification,
+    LstmClassifier,
+    MODEL_NAMES,
+    build_classifier,
+    build_mlm_model,
+)
+
+
+def test_builds_each_family():
+    assert isinstance(build_classifier("bert-tiny", vocab_size=20),
+                      BertForSequenceClassification)
+    assert isinstance(build_classifier("lstm-tiny", vocab_size=20), LstmClassifier)
+    assert isinstance(build_mlm_model("bert-tiny", vocab_size=20), BertForMaskedLM)
+
+
+def test_table2_parameter_counts_ordering():
+    """BERT has far more parameters than BERT-mini; both Table II sizes build."""
+    bert = build_classifier("bert", vocab_size=100)
+    mini = build_classifier("bert-mini", vocab_size=100)
+    assert bert.num_parameters() > 4 * mini.num_parameters()
+
+
+def test_deterministic_by_seed():
+    a = build_classifier("lstm-tiny", vocab_size=20, seed=9)
+    b = build_classifier("lstm-tiny", vocab_size=20, seed=9)
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_different_seeds_differ():
+    a = build_classifier("lstm-tiny", vocab_size=20, seed=1)
+    b = build_classifier("lstm-tiny", vocab_size=20, seed=2)
+    assert any(not np.allclose(pa.data, pb.data)
+               for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()))
+
+
+def test_mlm_rejects_lstm():
+    with pytest.raises(ValueError, match="BERT"):
+        build_mlm_model("lstm", vocab_size=20)
+
+
+def test_model_names_cover_presets():
+    for name in MODEL_NAMES:
+        if name.startswith("bert"):
+            assert build_classifier(name, vocab_size=16, num_layers=1) is not None
+        else:
+            assert build_classifier(name, vocab_size=16, num_layers=1) is not None
+
+
+def test_overrides_forwarded():
+    model = build_classifier("bert-tiny", vocab_size=20, max_seq_len=9)
+    assert model.config.max_seq_len == 9

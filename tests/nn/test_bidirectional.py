@@ -1,0 +1,77 @@
+"""Bidirectional LSTM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.models import LstmClassifier, LstmConfig
+from repro.nn import LSTM
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(17)
+
+
+def test_output_width_doubles(rng):
+    lstm = LSTM(3, 4, num_layers=2, bidirectional=True, rng=rng)
+    out, states = lstm(Tensor(rng.normal(size=(2, 5, 3)).astype(np.float32)))
+    assert out.shape == (2, 5, 8)
+    assert states[-1][0].shape == (2, 8)
+
+
+def test_unidirectional_unchanged(rng):
+    lstm = LSTM(3, 4, num_layers=1, bidirectional=False, rng=rng)
+    out, _ = lstm(Tensor(rng.normal(size=(2, 5, 3)).astype(np.float32)))
+    assert out.shape == (2, 5, 4)
+    assert lstm.cells_reverse is None
+
+
+def test_reverse_direction_sees_future(rng):
+    """Changing the last timestep must affect the FIRST output position
+    through the backward direction (impossible for a forward-only LSTM)."""
+    lstm = LSTM(3, 4, num_layers=1, bidirectional=True, rng=rng)
+    lstm.eval()
+    x = rng.normal(size=(1, 5, 3)).astype(np.float32)
+    base = lstm(Tensor(x))[0].data[0, 0].copy()
+    x2 = x.copy()
+    x2[0, 4] += 5.0
+    changed = lstm(Tensor(x2))[0].data[0, 0]
+    assert not np.allclose(base, changed, atol=1e-5)
+
+
+def test_forward_half_is_causal(rng):
+    """The forward half of the output must not depend on future steps."""
+    lstm = LSTM(3, 4, num_layers=1, bidirectional=True, rng=rng)
+    lstm.eval()
+    x = rng.normal(size=(1, 5, 3)).astype(np.float32)
+    base = lstm(Tensor(x))[0].data[0, 0, :4].copy()  # forward half at t=0
+    x2 = x.copy()
+    x2[0, 4] += 5.0
+    changed = lstm(Tensor(x2))[0].data[0, 0, :4]
+    np.testing.assert_allclose(base, changed, atol=1e-6)
+
+
+def test_gradients(rng):
+    lstm = LSTM(2, 2, num_layers=1, bidirectional=True, rng=rng)
+    for p in lstm.parameters():
+        p.data = p.data.astype(np.float64)
+    x = Tensor(rng.normal(size=(1, 3, 2)), requires_grad=True)
+    check_gradients(lambda: (lstm(x)[0] ** 2).sum(), [x] + lstm.parameters(),
+                    atol=5e-4)
+
+
+def test_classifier_integration(rng):
+    config = LstmConfig(vocab_size=30, hidden_dim=6, num_layers=1,
+                        bidirectional=True, dropout=0.0)
+    model = LstmClassifier(config, rng=rng)
+    ids = rng.integers(1, 30, size=(3, 7))
+    assert model(ids).shape == (3, 2)
+
+
+def test_bidirectional_param_count(rng):
+    uni = LSTM(3, 4, num_layers=1, bidirectional=False, rng=rng)
+    bi = LSTM(3, 4, num_layers=1, bidirectional=True, rng=rng)
+    assert bi.num_parameters() == 2 * uni.num_parameters()

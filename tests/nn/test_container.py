@@ -1,0 +1,37 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Sequential
+
+
+def test_applies_in_order():
+    rng = np.random.default_rng(0)
+    seq = Sequential(Linear(4, 3, rng=rng), Linear(3, 2, rng=rng))
+    out = seq(Tensor(rng.normal(size=(5, 4))))
+    assert out.shape == (5, 2)
+
+
+def test_len_and_getitem():
+    rng = np.random.default_rng(0)
+    first = Linear(4, 4, rng=rng)
+    seq = Sequential(first, Linear(4, 4, rng=rng))
+    assert len(seq) == 2
+    assert seq[0] is first
+
+
+def test_parameters_collected():
+    rng = np.random.default_rng(0)
+    seq = Sequential(Linear(4, 4, rng=rng), Linear(4, 4, rng=rng))
+    assert len(seq.parameters()) == 4
+
+
+def test_matches_manual_composition():
+    rng = np.random.default_rng(0)
+    a, b = Linear(4, 3, rng=rng), Linear(3, 2, rng=rng)
+    seq = Sequential(a, b)
+    x = Tensor(rng.normal(size=(2, 4)))
+    np.testing.assert_allclose(seq(x).data, b(a(x)).data)

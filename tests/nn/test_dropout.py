@@ -1,0 +1,47 @@
+"""Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout
+
+
+def test_eval_mode_identity():
+    layer = Dropout(0.5)
+    layer.eval()
+    x = Tensor(np.ones((5, 5)))
+    assert layer(x) is x
+
+
+def test_train_mode_zeroes_and_scales():
+    layer = Dropout(0.5, rng=np.random.default_rng(0))
+    out = layer(Tensor(np.ones((100, 100)))).data
+    zero_fraction = (out == 0).mean()
+    assert 0.45 < zero_fraction < 0.55
+    surviving = out[out != 0]
+    np.testing.assert_allclose(surviving, 2.0)  # inverted scaling
+
+
+def test_p_zero_is_identity():
+    layer = Dropout(0.0)
+    x = Tensor(np.ones(4))
+    assert layer(x) is x
+
+
+def test_invalid_p():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+def test_gradient_masks_match_forward():
+    layer = Dropout(0.5, rng=np.random.default_rng(1))
+    x = Tensor(np.ones((10, 10)), requires_grad=True)
+    out = layer(x)
+    out.sum().backward()
+    # gradient is zero exactly where the forward output was dropped
+    np.testing.assert_array_equal(x.grad == 0, out.data == 0)

@@ -1,0 +1,61 @@
+"""Embedding layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import check_gradients
+from repro.nn import Embedding, PositionalEmbedding
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        assert layer(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_padding_idx_zero_vector(self, rng):
+        layer = Embedding(10, 4, padding_idx=0, rng=rng)
+        np.testing.assert_allclose(layer.weight.data[0], 0.0)
+
+    def test_same_id_same_vector(self, rng):
+        layer = Embedding(10, 4, rng=rng)
+        out = layer(np.array([3, 3])).data
+        np.testing.assert_allclose(out[0], out[1])
+
+    def test_gradient_accumulates_for_repeats(self, rng):
+        layer = Embedding(5, 3, rng=rng)
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        ids = np.array([1, 1, 2])
+        check_gradients(lambda: (layer(ids) ** 2).sum(), [layer.weight])
+
+    def test_out_of_range_rejected(self, rng):
+        layer = Embedding(5, 3, rng=rng)
+        with pytest.raises(IndexError):
+            layer(np.array([5]))
+        with pytest.raises(IndexError):
+            layer(np.array([-1]))
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4)
+
+
+class TestPositionalEmbedding:
+    def test_shape(self, rng):
+        layer = PositionalEmbedding(16, 8, rng=rng)
+        assert layer(10).shape == (10, 8)
+
+    def test_prefix_consistency(self, rng):
+        layer = PositionalEmbedding(16, 8, rng=rng)
+        np.testing.assert_allclose(layer(4).data, layer(10).data[:4])
+
+    def test_too_long_rejected(self, rng):
+        layer = PositionalEmbedding(8, 4, rng=rng)
+        with pytest.raises(ValueError, match="max_len"):
+            layer(9)

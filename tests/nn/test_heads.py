@@ -1,0 +1,102 @@
+"""Output heads and pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Parameter, Tensor, check_gradients
+from repro.nn import (
+    ClassificationHead,
+    MLMHead,
+    cls_pool,
+    last_valid_pool,
+    masked_mean_pool,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12)
+
+
+class TestPooling:
+    def test_cls_pool(self, rng):
+        hidden = Tensor(rng.normal(size=(3, 5, 4)))
+        np.testing.assert_allclose(cls_pool(hidden).data, hidden.data[:, 0, :])
+
+    def test_masked_mean_pool(self, rng):
+        hidden = Tensor(rng.normal(size=(2, 4, 3)))
+        mask = np.array([[True, True, False, False], [True, True, True, True]])
+        out = masked_mean_pool(hidden, mask).data
+        np.testing.assert_allclose(out[0], hidden.data[0, :2].mean(axis=0), atol=1e-6)
+        np.testing.assert_allclose(out[1], hidden.data[1].mean(axis=0), atol=1e-6)
+
+    def test_masked_mean_pool_no_mask(self, rng):
+        hidden = Tensor(rng.normal(size=(2, 4, 3)))
+        np.testing.assert_allclose(masked_mean_pool(hidden, None).data,
+                                   hidden.data.mean(axis=1), atol=1e-6)
+
+    def test_masked_mean_pool_empty_row_safe(self, rng):
+        hidden = Tensor(rng.normal(size=(1, 3, 2)))
+        out = masked_mean_pool(hidden, np.zeros((1, 3), bool)).data
+        assert np.isfinite(out).all()
+
+    def test_last_valid_pool(self, rng):
+        hidden = Tensor(rng.normal(size=(2, 5, 3)))
+        mask = np.array([[True, True, True, False, False],
+                         [True, True, True, True, True]])
+        out = last_valid_pool(hidden, mask).data
+        np.testing.assert_allclose(out[0], hidden.data[0, 2])
+        np.testing.assert_allclose(out[1], hidden.data[1, 4])
+
+    def test_last_valid_pool_no_mask_uses_last(self, rng):
+        hidden = Tensor(rng.normal(size=(2, 4, 3)))
+        np.testing.assert_allclose(last_valid_pool(hidden, None).data,
+                                   hidden.data[:, -1])
+
+    def test_pool_gradients(self, rng):
+        hidden = Tensor(rng.normal(size=(2, 3, 2)), requires_grad=True)
+        mask = np.array([[True, True, False], [True, True, True]])
+        check_gradients(lambda: (masked_mean_pool(hidden, mask) ** 2).sum(), [hidden])
+        check_gradients(lambda: (last_valid_pool(hidden, mask) ** 2).sum(), [hidden])
+
+
+class TestClassificationHead:
+    def test_shape(self, rng):
+        head = ClassificationHead(6, 2, dropout=0.0, rng=rng)
+        assert head(Tensor(rng.normal(size=(4, 6)))).shape == (4, 2)
+
+    def test_gradients(self, rng):
+        head = ClassificationHead(3, 2, dropout=0.0, rng=rng)
+        for p in head.parameters():
+            p.data = p.data.astype(np.float64)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (head(x) ** 2).sum(), [x] + head.parameters(),
+                        atol=3e-4)
+
+
+class TestMLMHead:
+    def test_shape(self, rng):
+        head = MLMHead(4, 11, rng=rng)
+        assert head(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 3, 11)
+
+    def test_weight_tying_shares_parameter(self, rng):
+        table = Parameter(rng.normal(size=(11, 4)).astype(np.float32))
+        head = MLMHead(4, 11, tied_embedding=table, rng=rng)
+        assert head.decoder_weight is table
+
+    def test_tied_gradient_flows_to_embedding(self, rng):
+        table = Parameter(rng.normal(size=(7, 3)))
+        head = MLMHead(3, 7, tied_embedding=table, rng=rng)
+        out = head(Tensor(rng.normal(size=(1, 2, 3))))
+        out.sum().backward()
+        assert table.grad is not None and not np.allclose(table.grad, 0.0)
+
+    def test_tied_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="tied"):
+            MLMHead(3, 7, tied_embedding=Parameter(np.zeros((7, 4))), rng=rng)
+
+    def test_untied_creates_own_weight(self, rng):
+        head = MLMHead(3, 7, rng=rng)
+        assert head.decoder_weight.shape == (7, 3)

@@ -1,0 +1,74 @@
+"""Linear layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import Linear
+
+
+def to_f64(module):
+    """Upcast parameters for tight numerical gradient checks."""
+    for param in module.parameters():
+        param.data = param.data.astype(np.float64)
+    return module
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+def test_output_shape(rng):
+    layer = Linear(4, 7, rng=rng)
+    out = layer(Tensor(rng.normal(size=(3, 4))))
+    assert out.shape == (3, 7)
+
+
+def test_3d_input(rng):
+    layer = Linear(4, 2, rng=rng)
+    assert layer(Tensor(rng.normal(size=(2, 5, 4)))).shape == (2, 5, 2)
+
+
+def test_no_bias(rng):
+    layer = Linear(3, 3, bias=False, rng=rng)
+    assert layer.bias is None
+    assert len(layer.parameters()) == 1
+
+
+def test_matches_manual_computation(rng):
+    layer = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    expected = x @ layer.weight.data.T + layer.bias.data
+    np.testing.assert_allclose(layer(Tensor(x)).data, expected, rtol=1e-5)
+
+
+def test_gradients(rng):
+    layer = to_f64(Linear(3, 2, rng=rng))
+    x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+
+def test_wrong_input_dim_rejected(rng):
+    layer = Linear(3, 2, rng=rng)
+    with pytest.raises(ValueError, match="last dim"):
+        layer(Tensor(rng.normal(size=(4, 5))))
+
+
+def test_bad_dims_rejected(rng):
+    with pytest.raises(ValueError):
+        Linear(0, 3)
+
+
+def test_deterministic_init():
+    a = Linear(4, 4, rng=np.random.default_rng(5))
+    b = Linear(4, 4, rng=np.random.default_rng(5))
+    np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+def test_params_are_float32(rng):
+    layer = Linear(4, 4, rng=rng)
+    assert layer.weight.dtype == np.float32
+    assert layer.bias.dtype == np.float32

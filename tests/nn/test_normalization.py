@@ -1,0 +1,59 @@
+"""LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import LayerNorm
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(4)
+
+
+def test_output_normalised(rng):
+    layer = LayerNorm(8)
+    out = layer(Tensor(rng.normal(loc=5.0, scale=3.0, size=(4, 8)))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+    np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_affine_params_applied(rng):
+    layer = LayerNorm(4)
+    layer.weight.data[...] = 2.0
+    layer.bias.data[...] = 1.0
+    out = layer(Tensor(rng.normal(size=(3, 4)))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-5)
+
+
+def test_3d_input(rng):
+    layer = LayerNorm(6)
+    out = layer(Tensor(rng.normal(size=(2, 3, 6)))).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+
+def test_gradients(rng):
+    layer = LayerNorm(5)
+    for p in layer.parameters():
+        p.data = p.data.astype(np.float64)
+    x = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+    check_gradients(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+
+def test_constant_row_is_stable():
+    layer = LayerNorm(4)
+    out = layer(Tensor(np.full((1, 4), 3.0))).data
+    assert np.isfinite(out).all()
+
+
+def test_wrong_dim_rejected(rng):
+    with pytest.raises(ValueError, match="last dim"):
+        LayerNorm(4)(Tensor(rng.normal(size=(2, 5))))
+
+
+def test_bad_dim():
+    with pytest.raises(ValueError):
+        LayerNorm(0)

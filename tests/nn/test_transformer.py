@@ -1,0 +1,83 @@
+"""Transformer encoder stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import TransformerEncoder, TransformerEncoderLayer
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(6)
+
+
+def make_layer(dim=6, heads=2):
+    layer = TransformerEncoderLayer(dim, heads, dropout=0.0,
+                                    rng=np.random.default_rng(0))
+    layer.eval()
+    return layer
+
+
+def test_layer_shape(rng):
+    layer = make_layer()
+    assert layer(Tensor(rng.normal(size=(2, 5, 6)))).shape == (2, 5, 6)
+
+
+def test_default_ffn_dim_is_4x():
+    layer = make_layer(dim=6)
+    assert layer.ffn_in.out_features == 24
+
+
+def test_custom_ffn_dim():
+    layer = TransformerEncoderLayer(6, 2, ffn_dim=10, rng=np.random.default_rng(0))
+    assert layer.ffn_in.out_features == 10
+
+
+def test_stack_depth():
+    encoder = TransformerEncoder(3, 6, 2, dropout=0.0, rng=np.random.default_rng(0))
+    assert len(encoder.layers) == 3
+
+
+def test_stack_forward(rng):
+    encoder = TransformerEncoder(2, 6, 2, dropout=0.0, rng=np.random.default_rng(0))
+    encoder.eval()
+    out = encoder(Tensor(rng.normal(size=(2, 4, 6))))
+    assert out.shape == (2, 4, 6)
+    assert np.isfinite(out.data).all()
+
+
+def test_mask_propagates_through_stack(rng):
+    encoder = TransformerEncoder(2, 6, 2, dropout=0.0, rng=np.random.default_rng(0))
+    encoder.eval()
+    x = rng.normal(size=(1, 4, 6))
+    mask = np.array([[True, True, False, False]])
+    base = encoder(Tensor(x), attention_mask=mask).data.copy()
+    x2 = x.copy()
+    x2[0, 3] += 8.0
+    out = encoder(Tensor(x2), attention_mask=mask).data
+    np.testing.assert_allclose(base[0, :2], out[0, :2], atol=1e-4)
+
+
+def test_layer_gradients(rng):
+    layer = make_layer(dim=4, heads=2)
+    for p in layer.parameters():
+        p.data = p.data.astype(np.float64)
+    x = Tensor(rng.normal(size=(1, 3, 4)), requires_grad=True)
+    check_gradients(lambda: (layer(x) ** 2).sum(), [x] + layer.parameters(),
+                    atol=5e-4, rtol=5e-3)
+
+
+def test_zero_layers_rejected():
+    with pytest.raises(ValueError):
+        TransformerEncoder(0, 6, 2)
+
+
+def test_deterministic_construction(rng):
+    a = TransformerEncoder(2, 6, 2, rng=np.random.default_rng(3))
+    b = TransformerEncoder(2, 6, 2, rng=np.random.default_rng(3))
+    for (na, pa), (nb, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert na == nb
+        np.testing.assert_array_equal(pa.data, pb.data)

@@ -1,0 +1,63 @@
+"""Calibration metrics: Brier score and expected calibration error."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import brier_score, expected_calibration_error
+
+
+class TestBrier:
+    def test_perfect_predictions(self):
+        assert brier_score(np.array([1.0, 0.0]), np.array([1, 0])) == 0.0
+
+    def test_uninformative_half(self):
+        assert brier_score(np.full(10, 0.5), np.ones(10)) == pytest.approx(0.25)
+
+    def test_worst_case(self):
+        assert brier_score(np.array([0.0, 1.0]), np.array([1, 0])) == 1.0
+
+    def test_empty(self):
+        assert brier_score(np.array([]), np.array([])) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([1.5]), np.array([1]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([0.5]), np.array([1, 0]))
+
+
+class TestECE:
+    def test_perfectly_calibrated(self):
+        """In each bin, empirical frequency equals the stated probability."""
+        rng = np.random.default_rng(0)
+        probabilities = rng.uniform(0.05, 0.95, size=200_00)
+        labels = (rng.random(200_00) < probabilities).astype(int)
+        assert expected_calibration_error(probabilities, labels) < 0.02
+
+    def test_overconfident_model_penalised(self):
+        # claims 90% but is right half the time
+        probabilities = np.full(1000, 0.9)
+        labels = np.array([1, 0] * 500)
+        ece = expected_calibration_error(probabilities, labels)
+        assert ece == pytest.approx(0.4, abs=0.01)
+
+    def test_empty(self):
+        assert expected_calibration_error(np.array([]), np.array([])) == 0.0
+
+    def test_single_bin(self):
+        probabilities = np.array([0.2, 0.8])
+        labels = np.array([0, 1])
+        ece = expected_calibration_error(probabilities, labels, n_bins=1)
+        assert ece == pytest.approx(0.0)  # mean conf 0.5, mean acc 0.5
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.array([0.5]), np.array([1]), n_bins=0)
+
+    def test_probability_one_lands_in_top_bin(self):
+        ece = expected_calibration_error(np.array([1.0]), np.array([1]))
+        assert ece == 0.0

@@ -1,0 +1,120 @@
+"""FedProx regularizer and ROC-AUC metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import partition_balanced
+from repro.flare import DXO, DataKind, FLContext
+from repro.models import build_classifier
+from repro.training import (
+    ClinicalClassificationLearner,
+    make_proximal_regularizer,
+    roc_auc,
+)
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]), np.array([1, 1, 0, 0])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc(np.array([0.1, 0.2, 0.8, 0.9]), np.array([1, 1, 0, 0])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        value = roc_auc(rng.random(4000), rng.integers(0, 2, 4000))
+        assert abs(value - 0.5) < 0.03
+
+    def test_ties_get_average_rank(self):
+        # all scores equal → AUC exactly 0.5
+        assert roc_auc(np.ones(10), np.array([1] * 5 + [0] * 5)) == pytest.approx(0.5)
+
+    def test_degenerate_single_class(self):
+        assert roc_auc(np.array([0.1, 0.9]), np.array([1, 1])) == 0.5
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(60)
+        labels = rng.integers(0, 2, 60)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(scores, labels) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(3), np.zeros(4))
+
+
+class TestProximalRegularizer:
+    def test_zero_at_reference(self):
+        model = build_classifier("lstm-tiny", vocab_size=20, seed=0)
+        reg = make_proximal_regularizer(0.1, model.state_dict())
+        assert float(reg(model).data) == pytest.approx(0.0)
+
+    def test_quadratic_growth(self):
+        model = build_classifier("lstm-tiny", vocab_size=20, seed=0)
+        reference = model.state_dict()
+        reg = make_proximal_regularizer(2.0, reference)
+        for param in model.parameters():
+            param.data += 1.0
+        total = sum(p.size for p in model.parameters())
+        # (mu/2) * sum((w - ref)^2) = 1.0 * total
+        assert float(reg(model).data) == pytest.approx(total, rel=1e-4)
+
+    def test_gradient_points_back_to_reference(self):
+        model = build_classifier("lstm-tiny", vocab_size=20, seed=0)
+        reference = model.state_dict()
+        for param in model.parameters():
+            param.data += 0.5
+        reg = make_proximal_regularizer(1.0, reference)
+        penalty = reg(model)
+        penalty.backward()
+        first = model.parameters()[0]
+        np.testing.assert_allclose(first.grad, 0.5, atol=1e-5)
+
+    def test_missing_keys_unconstrained(self):
+        model = build_classifier("lstm-tiny", vocab_size=20, seed=0)
+        reg = make_proximal_regularizer(1.0, {})
+        assert float(reg(model).data) == 0.0
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            make_proximal_regularizer(-0.1, {})
+
+
+class TestFedProxLearner:
+    def test_mu_shrinks_update_norm(self, tiny_split, vocab_size):
+        """A large proximal term must keep local weights near the global."""
+        train, valid = tiny_split
+        shard = train.subset(partition_balanced(len(train), 2, seed=0)[0])
+
+        def factory():
+            return build_classifier("lstm-tiny", vocab_size=vocab_size, seed=0)
+
+        def drift(mu):
+            learner = ClinicalClassificationLearner(
+                site_name="s", model_factory=factory, train_data=shard,
+                valid_data=None, local_epochs=1, batch_size=16, lr=1e-2,
+                fedprox_mu=mu)
+            ctx = FLContext()
+            ctx.set_prop("current_round", 0)
+            learner.initialize(ctx)
+            incoming = {k: np.asarray(v)
+                        for k, v in learner.model.state_dict().items()}
+            result = learner.train(DXO(DataKind.WEIGHTS, data=incoming), ctx)
+            return sum(float(np.sum((result.data[k] - incoming[k]) ** 2))
+                       for k in incoming) ** 0.5
+
+        assert drift(mu=100.0) < drift(mu=0.0)
+
+    def test_negative_mu_rejected(self, tiny_split, vocab_size):
+        train, _ = tiny_split
+        with pytest.raises(ValueError):
+            ClinicalClassificationLearner(
+                site_name="s", model_factory=lambda: None, train_data=train,
+                valid_data=None, fedprox_mu=-1.0)

@@ -1,0 +1,79 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    MetricAverager,
+    confusion_matrix,
+    precision_recall_f1,
+    top1_accuracy,
+)
+
+
+class TestTop1:
+    def test_perfect(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert top1_accuracy(logits, np.array([1, 0])) == 1.0
+
+    def test_partial(self):
+        logits = np.array([[0.1, 0.9], [0.1, 0.9], [0.9, 0.1], [0.9, 0.1]])
+        assert top1_accuracy(logits, np.array([1, 0, 0, 1])) == 0.5
+
+    def test_empty(self):
+        assert top1_accuracy(np.zeros((0, 2)), np.zeros(0)) == 0.0
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((2, 2)), np.zeros(3))
+
+    def test_multiclass(self):
+        logits = np.eye(4) * 10
+        assert top1_accuracy(logits, np.arange(4)) == 1.0
+
+
+class TestConfusion:
+    def test_layout_true_rows(self):
+        matrix = confusion_matrix(np.array([1, 0, 1]), np.array([1, 1, 1]), 2)
+        # labels: [1, 1, 1]; predictions [1, 0, 1] → row 1: [1, 2]
+        np.testing.assert_array_equal(matrix, [[0, 0], [1, 2]])
+
+    def test_total_count(self):
+        rng = np.random.default_rng(0)
+        preds = rng.integers(0, 3, 50)
+        labels = rng.integers(0, 3, 50)
+        assert confusion_matrix(preds, labels, 3).sum() == 50
+
+
+class TestPRF:
+    def test_perfect(self):
+        p, r, f1 = precision_recall_f1(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_no_positives_predicted(self):
+        p, r, f1 = precision_recall_f1(np.zeros(4), np.array([1, 1, 0, 0]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_known_values(self):
+        # TP=1, FP=1, FN=1
+        p, r, f1 = precision_recall_f1(np.array([1, 1, 0, 0]),
+                                       np.array([1, 0, 1, 0]))
+        assert p == 0.5 and r == 0.5 and f1 == 0.5
+
+
+class TestAverager:
+    def test_weighted_average(self):
+        avg = MetricAverager()
+        avg.update(1.0, weight=1)
+        avg.update(3.0, weight=3)
+        assert avg.average == pytest.approx(2.5)
+        assert avg.count == 4
+
+    def test_empty_average_zero(self):
+        assert MetricAverager().average == 0.0
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            MetricAverager().update(1.0, weight=0)

@@ -1,0 +1,109 @@
+"""TrainConfig extensions: class weights and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.models import build_classifier
+from repro.training import TrainConfig, train_classifier
+
+
+class TestClassWeightedLoss:
+    def test_weights_change_loss_value(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(6, 2)))
+        labels = np.array([0, 0, 0, 0, 0, 1])
+        plain = F.cross_entropy(logits, labels)
+        weighted = F.cross_entropy(logits, labels,
+                                   class_weights=np.array([1.0, 10.0]))
+        assert float(plain.data) != pytest.approx(float(weighted.data))
+
+    def test_uniform_weights_match_unweighted(self):
+        rng = np.random.default_rng(1)
+        logits = Tensor(rng.normal(size=(5, 3)))
+        labels = rng.integers(0, 3, size=5)
+        plain = F.cross_entropy(logits, labels)
+        uniform = F.cross_entropy(logits, labels, class_weights=np.ones(3))
+        assert float(plain.data) == pytest.approx(float(uniform.data), abs=1e-6)
+
+    def test_weighted_mean_uses_weight_denominator(self):
+        """Torch semantics: mean = sum(w_i * l_i) / sum(w_i)."""
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        labels = np.array([0, 1])
+        # both rows have identical per-row loss; any weights keep the mean
+        weighted = F.cross_entropy(logits, labels,
+                                   class_weights=np.array([1.0, 3.0]))
+        plain = F.cross_entropy(logits, labels)
+        assert float(weighted.data) == pytest.approx(float(plain.data), abs=1e-6)
+
+    def test_bad_weight_shape(self):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(logits, np.array([0, 1]),
+                            class_weights=np.ones(3))
+
+    def test_weighted_gradient(self):
+        from repro.autograd import check_gradients
+
+        rng = np.random.default_rng(2)
+        logits = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        labels = rng.integers(0, 2, size=4)
+        weights = np.array([1.0, 4.0])
+        check_gradients(lambda: F.cross_entropy(logits, labels,
+                                                class_weights=weights),
+                        [logits])
+
+    def test_minority_upweighting_increases_positive_predictions(self, tiny_split,
+                                                                 vocab_size):
+        """Upweighting the rare ADR class should raise predicted positives."""
+        train, valid = tiny_split
+
+        def count_positives(class_weights):
+            model = build_classifier("lstm-tiny", vocab_size=vocab_size, seed=3)
+            config = TrainConfig(epochs=6, batch_size=16, lr=5e-3, seed=3,
+                                 class_weights=class_weights)
+            train_classifier(model, train, config)
+            from repro.autograd import no_grad
+
+            with no_grad():
+                logits = model(valid.input_ids, attention_mask=valid.attention_mask)
+            return int((logits.data.argmax(axis=1) == 1).sum())
+
+        plain = count_positives(None)
+        upweighted = count_positives(np.array([1.0, 20.0]))
+        assert upweighted > plain
+
+
+class TestEarlyStopping:
+    def test_stops_before_epoch_budget(self, tiny_split, vocab_size):
+        train, valid = tiny_split
+        model = build_classifier("lstm-tiny", vocab_size=vocab_size, seed=0)
+        config = TrainConfig(epochs=30, batch_size=16, lr=1e-2, seed=0,
+                             early_stopping_patience=2)
+        history = train_classifier(model, train, config, valid=valid)
+        assert len(history) < 30
+
+    def test_restores_best_weights(self, tiny_split, vocab_size):
+        from repro.training import evaluate_classifier
+
+        train, valid = tiny_split
+        model = build_classifier("lstm-tiny", vocab_size=vocab_size, seed=0)
+        config = TrainConfig(epochs=12, batch_size=16, lr=1e-2, seed=0,
+                             early_stopping_patience=2)
+        history = train_classifier(model, train, config, valid=valid)
+        best_seen = max(m.valid_acc for m in history if m.valid_acc is not None)
+        final_acc, _ = evaluate_classifier(model, valid)
+        assert final_acc == pytest.approx(best_seen, abs=1e-6)
+
+    def test_without_valid_never_stops_early(self, tiny_split, vocab_size):
+        train, _ = tiny_split
+        model = build_classifier("lstm-tiny", vocab_size=vocab_size, seed=0)
+        config = TrainConfig(epochs=3, early_stopping_patience=1)
+        history = train_classifier(model, train, config)  # no valid set
+        assert len(history) == 3
+
+    def test_bad_patience(self):
+        with pytest.raises(ValueError):
+            TrainConfig(early_stopping_patience=0)
