@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Run the fault-injection chaos suite on its own.
+#
+# The suite uses a fast default profile (tiny injected delays, few rounds) so
+# it finishes in well under 60 seconds; it also runs as part of the normal
+# tier-1 `pytest` invocation and can be excluded there with -m "not chaos".
+#
+# Usage: scripts/run_chaos.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest -m chaos "$@"

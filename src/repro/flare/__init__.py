@@ -19,6 +19,7 @@ from .controller import ScatterAndGather
 from .cross_site_eval import CrossSiteModelEval
 from .dxo import DXO, MetaKey
 from .events import FLComponent, LogCapture, get_fl_logger, set_console_level
+from .faults import FaultPlan, FaultyMessageBus
 from .filters import (
     DXOFilter,
     ExcludeVars,
@@ -54,7 +55,15 @@ from .shareable import Shareable, from_dxo, make_reply, to_dxo
 from .shareable_generator import FullModelShareableGenerator
 from .simulator import SimulationResult, SimulatorRunner
 from .stats import ClientRoundRecord, RoundRecord, RunStats
-from .transport import Message, MessageBus, TransportError
+from .transport import (
+    Message,
+    MessageBus,
+    ReceiveTimeout,
+    RetryPolicy,
+    SignatureError,
+    TransportError,
+    send_with_retry,
+)
 
 __all__ = [
     "DataKind", "ReturnCode", "EventType", "ReservedKey", "TaskName", "FLRole",
@@ -65,7 +74,8 @@ __all__ = [
     "Certificate", "CertificateAuthority", "hmac_sign", "hmac_verify",
     "ParticipantSpec", "ProjectSpec", "StartupKit", "Provisioner",
     "default_project", "make_join_token",
-    "Message", "MessageBus", "TransportError",
+    "Message", "MessageBus", "TransportError", "ReceiveTimeout", "SignatureError",
+    "RetryPolicy", "send_with_retry", "FaultPlan", "FaultyMessageBus",
     "Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
     "CoordinateMedianAggregator", "TrimmedMeanAggregator",
     "FullModelShareableGenerator", "ModelPersistor",

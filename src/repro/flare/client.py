@@ -16,7 +16,7 @@ from .learner import Learner
 from .provision import StartupKit
 from .security import sign
 from .shareable import Shareable, from_dxo, make_reply, to_dxo
-from .transport import MessageBus, TransportError
+from .transport import MessageBus, RetryPolicy, TransportError, send_with_retry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import FLServer
@@ -36,13 +36,16 @@ class FederatedClient(FLComponent):
 
     def __init__(self, kit: StartupKit, learner: Learner, bus: MessageBus,
                  task_result_filters: list[DXOFilter] | None = None,
-                 task_data_filters: list[DXOFilter] | None = None) -> None:
+                 task_data_filters: list[DXOFilter] | None = None,
+                 retry_policy: RetryPolicy | None = None) -> None:
         super().__init__(name=kit.participant.name)
         self.kit = kit
         self.learner = learner
         self.bus = bus
         self.task_result_filters = list(task_result_filters or [])
         self.task_data_filters = list(task_data_filters or [])
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.retries = 0
         self.token: str | None = None
         self.server_name: str | None = None
         self.fl_ctx = FLContext(identity=self.name)
@@ -130,7 +133,16 @@ class FederatedClient(FLComponent):
         if topic == _STOP_TOPIC:
             return False
         reply = self.process_task(topic, shareable)
-        self.bus.send_shareable(self.name, sender, f"{topic}:result", reply)
+        try:
+            attempts = send_with_retry(self.bus, self.name, sender,
+                                       f"{topic}:result", reply, self.retry_policy)
+            self.retries += attempts - 1
+        except TransportError as error:
+            # The controller's quorum logic absorbs the loss; dying here
+            # would take the whole client thread down with it.
+            self.retries += self.retry_policy.max_attempts - 1
+            self.log_warning("result for %r lost after %d attempt(s): %s",
+                             topic, self.retry_policy.max_attempts, error)
         return True
 
     def serve_in_thread(self) -> threading.Thread:

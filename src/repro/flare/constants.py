@@ -45,6 +45,8 @@ class ReservedKey:
     """Well-known Shareable header / FLContext property keys."""
 
     TASK_NAME = "__task_name__"
+    MSG_ID = "__msg_id__"
+    ATTEMPT = "__attempt__"
     ROUND_NUMBER = "__round_number__"
     TOTAL_ROUNDS = "__total_rounds__"
     RETURN_CODE = "__return_code__"

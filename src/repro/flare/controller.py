@@ -23,7 +23,6 @@ from .server import FLServer
 from .shareable import to_dxo
 from .shareable_generator import FullModelShareableGenerator
 from .stats import ClientRoundRecord, RoundRecord, RunStats
-from .transport import TransportError
 
 __all__ = ["ScatterAndGather"]
 
@@ -52,7 +51,13 @@ class ScatterAndGather(FLComponent):
     result_filters:
         Server-side task-result filter chain.
     min_clients:
-        Abort the round if fewer OK results arrive.
+        Quorum: a round needs at least this many OK results to aggregate.
+    max_failed_rounds:
+        How many *consecutive* under-quorum rounds to tolerate before
+        aborting the run.  The default 0 aborts on the first one (the
+        historical behaviour); with N > 0 an under-quorum round keeps the
+        previous global model, marks the missing sites as dropped and moves
+        on, and only the (N+1)-th consecutive failure raises.
     """
 
     def __init__(self, server: FLServer, client_names: list[str],
@@ -66,12 +71,15 @@ class ScatterAndGather(FLComponent):
                  min_clients: int | None = None,
                  clients_per_round: int | None = None,
                  result_timeout: float = 600.0,
+                 max_failed_rounds: int = 0,
                  sampling_seed: int = 0) -> None:
         super().__init__(name="ScatterAndGather")
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not client_names:
             raise ValueError("need at least one client")
+        if max_failed_rounds < 0:
+            raise ValueError("max_failed_rounds must be non-negative")
         self.server = server
         self.client_names = list(client_names)
         self.global_weights = {key: np.asarray(value).copy()
@@ -89,6 +97,8 @@ class ScatterAndGather(FLComponent):
         self._sampling_rng = np.random.default_rng(sampling_seed)
         default_min = clients_per_round if clients_per_round is not None else len(client_names)
         self.min_clients = min_clients if min_clients is not None else default_min
+        self.max_failed_rounds = max_failed_rounds
+        self._under_quorum_streak = 0
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -101,6 +111,7 @@ class ScatterAndGather(FLComponent):
         self.fire_event(EventType.END_RUN, fl_ctx)
         self.stats.messages_delivered = self.server.bus.delivered_count
         self.stats.bytes_delivered = self.server.bus.delivered_bytes
+        self.stats.retries = self.server.bus.retry_count
         return self.stats
 
     # ------------------------------------------------------------------
@@ -125,21 +136,19 @@ class ScatterAndGather(FLComponent):
         task = self.shareable_generator.learnable_to_shareable(self.global_weights, fl_ctx)
         task.set_header(ReservedKey.ROUND_NUMBER, round_number)
         task.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
-        self.server.broadcast_task(TaskName.TRAIN, task, participants)
+        unreachable = self.server.broadcast_task(TaskName.TRAIN, task, participants)
+        if unreachable:
+            self.log_warning("round %d: %d site(s) unreachable at broadcast: %s",
+                             round_number, len(unreachable), ", ".join(unreachable))
         self.fire_event(EventType.TASKS_BROADCAST, fl_ctx)
 
         record = RoundRecord(round_number=round_number)
         self.aggregator.reset()
         accepted = 0
-        for _ in participants:
-            try:
-                sender, reply = self.server.collect_results(
-                    1, timeout=self.result_timeout)[0]
-            except TransportError:
-                self.log_warning(
-                    "round %d: result wait timed out after %.0fs; proceeding "
-                    "with %d result(s)", round_number, self.result_timeout, accepted)
-                break
+        contributors: set[str] = set()
+        expected = len(participants) - len(unreachable)
+        replies = self.server.collect_results(expected, timeout=self.result_timeout)
+        for sender, reply in replies:
             if reply.return_code != ReturnCode.OK:
                 self.log_warning("client %s returned %s; skipping its update",
                                  sender, reply.return_code)
@@ -150,6 +159,7 @@ class ScatterAndGather(FLComponent):
             self.log_info("Contribution from %s received.", sender)
             if self.aggregator.accept(dxo, sender, fl_ctx):
                 accepted += 1
+                contributors.add(sender)
             record.client_records.append(ClientRoundRecord(
                 client=sender,
                 round_number=round_number,
@@ -158,10 +168,28 @@ class ScatterAndGather(FLComponent):
                 num_steps=int(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 0)),
                 seconds=float(dxo.get_meta_prop("train_seconds", 0.0)),
             ))
+        record.dropped_clients = sorted(set(participants) - contributors)
+        if record.dropped_clients:
+            self.log_warning("round %d: dropped site(s): %s", round_number,
+                             ", ".join(record.dropped_clients))
+
         if accepted < self.min_clients:
-            raise RuntimeError(
-                f"round {round_number}: only {accepted} usable results "
-                f"(min_clients={self.min_clients})")
+            self._under_quorum_streak += 1
+            record.quorum_met = False
+            record.seconds = time.perf_counter() - round_started
+            self.stats.add_round(record)
+            if self._under_quorum_streak > self.max_failed_rounds:
+                raise RuntimeError(
+                    f"round {round_number}: only {accepted} usable results "
+                    f"(min_clients={self.min_clients}) after "
+                    f"{self._under_quorum_streak} consecutive under-quorum round(s)")
+            self.log_warning(
+                "round %d: under quorum (%d/%d); keeping previous global model "
+                "(%d/%d tolerated failures)", round_number, accepted,
+                self.min_clients, self._under_quorum_streak, self.max_failed_rounds)
+            self.fire_event(EventType.ROUND_DONE, fl_ctx)
+            return
+        self._under_quorum_streak = 0
 
         self.fire_event(EventType.BEFORE_AGGREGATION, fl_ctx)
         aggregated = self.aggregator.aggregate(fl_ctx)

@@ -51,10 +51,11 @@ class CrossSiteModelEval(FLComponent):
                       meta={"model_name": model_name})
             task = from_dxo(dxo)
             task.set_header(ReservedKey.TASK_NAME, TaskName.VALIDATE)
-            self.server.broadcast_task(TaskName.VALIDATE, task, self.client_names)
+            unreachable = self.server.broadcast_task(TaskName.VALIDATE, task,
+                                                     self.client_names)
             per_site: dict[str, dict[str, float]] = {}
-            for _ in self.client_names:
-                sender, reply = self.server.collect_results(1)[0]
+            expected = len(self.client_names) - len(unreachable)
+            for sender, reply in self.server.collect_results(expected):
                 if reply.return_code != ReturnCode.OK:
                     self.log_warning("site %s failed validation of %r", sender, model_name)
                     continue

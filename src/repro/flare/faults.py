@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the in-memory transport.
+
+Real NVFlare deployments sit on flaky hospital-site networks: messages get
+dropped, delayed, duplicated or corrupted, and whole sites crash mid-job.
+:class:`FaultyMessageBus` wraps the simulator's :class:`MessageBus` with a
+seeded :class:`FaultPlan` so chaos scenarios are reproducible bit-for-bit —
+every fault decision is a pure hash of ``(seed, kind, sender, recipient,
+topic, msg_id, attempt)``, never of wall-clock time or thread scheduling.
+
+Fault semantics (mirroring what a real channel does):
+
+- **drop** — the send raises :class:`TransportError`, as a broken socket
+  would; the sender's retry loop (``send_with_retry``) gets a fresh,
+  independently-seeded decision per attempt.
+- **crash** — every message to or from a crashed site fails; the site
+  registered fine but is gone, so the controller marks it dropped.
+- **straggler / delay** — delivery is held back by sleeping in the sender's
+  thread before the enqueue (no extra timer threads to leak).
+- **duplicate** — the envelope is enqueued twice; the receiver's message-id
+  dedup makes delivery exactly-once anyway.
+- **corrupt** — a body byte is flipped *after* signing, so the receiver's
+  HMAC check rejects the message instead of decoding garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from .constants import ReservedKey
+from .transport import Message, MessageBus, TransportError
+
+__all__ = ["FaultPlan", "FaultyMessageBus"]
+
+
+@dataclass
+class FaultPlan:
+    """Seeded description of which faults to inject and how often.
+
+    Schema (all probabilities in ``[0, 1]``):
+
+    - ``seed`` — root of every fault decision; same plan + same message
+      stream ⇒ same faults.
+    - ``drop_prob`` — chance each send attempt fails outright.
+    - ``duplicate_prob`` — chance a delivered message is enqueued twice.
+    - ``corrupt_prob`` — chance a delivered body is bit-flipped in flight.
+    - ``delay_prob`` / ``max_delay`` — chance a delivery is held back, and
+      the upper bound (seconds) of the injected latency.
+    - ``crashed_clients`` — sites that are down for the whole run; every
+      message to or from them fails.
+    - ``stragglers`` — ``site -> seconds`` of fixed extra latency on every
+      message that site sends.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay: float = 0.02
+    crashed_clients: tuple[str, ...] = ()
+    stragglers: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "duplicate_prob", "corrupt_prob", "delay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if any(delay < 0 for delay in self.stragglers.values()):
+            raise ValueError("straggler delays must be non-negative")
+        self.crashed_clients = tuple(self.crashed_clients)
+
+    # ------------------------------------------------------------------
+    def unit(self, kind: str, key: str) -> float:
+        """Deterministic pseudo-random draw in ``[0, 1)`` for one decision."""
+        digest = hashlib.sha256(f"{self.seed}|{kind}|{key}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
+class FaultyMessageBus(MessageBus):
+    """A :class:`MessageBus` that injects the faults described by a plan.
+
+    Drop/crash faults surface to the *sender* as :class:`TransportError`
+    (like a failed socket write), which is what drives the retry/backoff
+    layer; duplicate/corrupt/delay faults happen silently in flight, which
+    is what drives the receiver-side dedup and HMAC defenses.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        super().__init__()
+        self.plan = plan
+        self.injected_drops = 0
+        self.injected_crash_drops = 0
+        self.injected_duplicates = 0
+        self.injected_corruptions = 0
+        self.injected_delays = 0
+
+    def fault_counts(self) -> dict[str, int]:
+        """JSON-safe summary of everything injected so far."""
+        return {"drops": self.injected_drops,
+                "crash_drops": self.injected_crash_drops,
+                "duplicates": self.injected_duplicates,
+                "corruptions": self.injected_corruptions,
+                "delays": self.injected_delays}
+
+    # ------------------------------------------------------------------
+    def _enqueue(self, message: Message) -> None:
+        plan = self.plan
+        decision_key = "|".join((
+            message.sender, message.recipient, message.topic,
+            str(message.headers.get(ReservedKey.MSG_ID, "")),
+            str(message.headers.get(ReservedKey.ATTEMPT, 0))))
+
+        for endpoint in (message.sender, message.recipient):
+            if endpoint in plan.crashed_clients:
+                with self._lock:
+                    self.injected_crash_drops += 1
+                raise TransportError(
+                    f"injected crash: site {endpoint!r} is down "
+                    f"(message {message.topic!r} lost)")
+
+        if plan.drop_prob and plan.unit("drop", decision_key) < plan.drop_prob:
+            with self._lock:
+                self.injected_drops += 1
+            raise TransportError(
+                f"injected drop of {message.topic!r} from {message.sender!r} "
+                f"to {message.recipient!r}")
+
+        delay = plan.stragglers.get(message.sender, 0.0)
+        if plan.delay_prob and plan.unit("delay", decision_key) < plan.delay_prob:
+            delay += plan.max_delay * plan.unit("delay-amount", decision_key)
+        if delay > 0:
+            with self._lock:
+                self.injected_delays += 1
+            time.sleep(delay)
+
+        if plan.corrupt_prob and plan.unit("corrupt", decision_key) < plan.corrupt_prob:
+            with self._lock:
+                self.injected_corruptions += 1
+            if message.body:
+                flip_at = len(message.body) // 2
+                message.body = (message.body[:flip_at]
+                                + bytes([message.body[flip_at] ^ 0xFF])
+                                + message.body[flip_at + 1:])
+            else:
+                message.signature = "0" * len(message.signature)
+
+        super()._enqueue(message)
+
+        if plan.duplicate_prob and plan.unit("duplicate", decision_key) < plan.duplicate_prob:
+            with self._lock:
+                self.injected_duplicates += 1
+            super()._enqueue(message)

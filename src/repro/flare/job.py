@@ -44,7 +44,12 @@ class FLJob:
     task_result_filters / server_result_filters:
         Client-side and server-side DXO filter chains.
     min_clients:
-        Minimum usable results per round.
+        Minimum usable results per round (the quorum).
+    result_timeout:
+        Seconds the server waits for a round's results before aggregating
+        whatever arrived.
+    max_failed_rounds:
+        Consecutive under-quorum rounds tolerated before the run aborts.
     """
 
     name: str
@@ -58,9 +63,15 @@ class FLJob:
     task_result_filters: list[DXOFilter] = field(default_factory=list)
     server_result_filters: list[DXOFilter] = field(default_factory=list)
     min_clients: int | None = None
+    result_timeout: float = 600.0
+    max_failed_rounds: int = 0
 
     def __post_init__(self) -> None:
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not self.initial_weights:
             raise ValueError("initial_weights must be non-empty")
+        if self.result_timeout <= 0:
+            raise ValueError("result_timeout must be positive")
+        if self.max_failed_rounds < 0:
+            raise ValueError("max_failed_rounds must be non-negative")

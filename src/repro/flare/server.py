@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from .constants import EventType, ReservedKey
@@ -10,7 +12,14 @@ from .fl_context import FLContext
 from .provision import StartupKit, make_join_token
 from .security import Certificate, verify
 from .shareable import Shareable
-from .transport import MessageBus
+from .transport import (
+    MessageBus,
+    ReceiveTimeout,
+    RetryPolicy,
+    SignatureError,
+    TransportError,
+    send_with_retry,
+)
 
 __all__ = ["FLServer", "AuthenticationError"]
 
@@ -25,13 +34,15 @@ class FLServer(FLComponent):
     """Holds registered clients, issues tokens and sends/collects tasks."""
 
     def __init__(self, kit: StartupKit, bus: MessageBus, project_name: str = "",
-                 seed: int = 0) -> None:
+                 seed: int = 0, retry_policy: RetryPolicy | None = None) -> None:
         super().__init__(name=kit.participant.name)
         self.kit = kit
         self.bus = bus
         self.project_name = project_name or kit.project_name
         self.fl_ctx = FLContext(identity=self.name)
         self.tokens: dict[str, str] = {}
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.retries = 0
         self._nonces: dict[str, bytes] = {}
         self._rng = np.random.default_rng(seed)
         bus.register_endpoint(self.name)
@@ -79,23 +90,63 @@ class FLServer(FLComponent):
     # task fan-out / collection
     # ------------------------------------------------------------------
     def broadcast_task(self, task_name: str, shareable: Shareable,
-                       targets: list[str]) -> None:
+                       targets: list[str]) -> list[str]:
+        """Send one task per target with retry/backoff.
+
+        Returns the targets that stayed unreachable after the retry budget —
+        they never got the task and cannot answer, so callers should count
+        them out of the expected results instead of waiting on them.
+        """
+        unreachable: list[str] = []
         for target in targets:
             if target not in self.tokens:
                 raise AuthenticationError(f"client {target!r} is not registered")
             task = Shareable(shareable)  # shallow copy per recipient
             task.set_header(ReservedKey.TASK_NAME, task_name)
-            self.bus.send_shareable(self.name, target, task_name, task)
+            try:
+                attempts = send_with_retry(self.bus, self.name, target, task_name,
+                                           task, self.retry_policy)
+                self.retries += attempts - 1
+            except TransportError as error:
+                self.retries += self.retry_policy.max_attempts - 1
+                self.log_warning("task %r undeliverable to %s: %s",
+                                 task_name, target, error)
+                unreachable.append(target)
+        return unreachable
 
     def collect_results(self, expected: int, timeout: float = 600.0
                         ) -> list[tuple[str, Shareable]]:
-        """Block until ``expected`` task results arrive."""
+        """Collect up to ``expected`` task results within ``timeout`` seconds.
+
+        Returns whatever arrived — possibly a partial (even empty) list —
+        instead of raising mid-collection, so results received before a late
+        timeout are never lost.  Corrupted messages (HMAC failures) are
+        logged and skipped without aborting the wait; each returned Shareable
+        still carries its own per-client return code for the caller to judge.
+        """
         results: list[tuple[str, Shareable]] = []
-        for _ in range(expected):
-            sender, _topic, shareable = self.bus.receive(self.name, timeout=timeout)
+        deadline = time.monotonic() + timeout
+        while len(results) < expected:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                sender, _topic, shareable = self.bus.receive(self.name, timeout=remaining)
+            except SignatureError as error:
+                self.log_warning("rejected corrupted/forged result: %s", error)
+                continue
+            except ReceiveTimeout:
+                break
             results.append((sender, shareable))
+        if len(results) < expected:
+            self.log_warning("collected %d/%d result(s) before the %.1fs deadline",
+                             len(results), expected, timeout)
         return results
 
     def stop_clients(self, targets: list[str]) -> None:
+        """Best-effort shutdown fan-out; unreachable sites are only logged."""
         for target in targets:
-            self.bus.send_shareable(self.name, target, _STOP_TOPIC, Shareable())
+            try:
+                self.bus.send_shareable(self.name, target, _STOP_TOPIC, Shareable())
+            except TransportError as error:
+                self.log_warning("stop message to %s lost: %s", target, error)

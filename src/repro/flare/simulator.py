@@ -9,6 +9,7 @@ collected statistics and the captured log transcript (Fig. 3).
 
 from __future__ import annotations
 
+import sys
 import tempfile
 import threading
 from dataclasses import dataclass, field
@@ -19,6 +20,7 @@ import numpy as np
 from .client import FederatedClient
 from .controller import ScatterAndGather
 from .events import LogCapture
+from .faults import FaultPlan, FaultyMessageBus
 from .fl_context import FLContext
 from .job import FLJob
 from .persistor import ModelPersistor
@@ -49,7 +51,8 @@ class SimulatorRunner:
     def __init__(self, job: FLJob, n_clients: int = 8, seed: int = 0,
                  run_dir: str | Path | None = None, threads: bool = True,
                  capture_log: bool = True, key_bits: int = 512,
-                 max_parallel: int = 2) -> None:
+                 max_parallel: int = 2,
+                 fault_plan: FaultPlan | None = None) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
@@ -60,6 +63,8 @@ class SimulatorRunner:
         self.threads = threads
         self.capture_log = capture_log
         self.key_bits = key_bits
+        # Optional chaos scenario: run the whole job over a lossy bus.
+        self.fault_plan = fault_plan
         # NVFlare's simulator multiplexes N clients over T threads; here all
         # clients have their own thread but at most ``max_parallel`` execute
         # a task at once, bounding peak training memory.
@@ -83,7 +88,8 @@ class SimulatorRunner:
         provisioner = Provisioner(project, seed=self.seed, key_bits=self.key_bits)
         kits = provisioner.provision()
 
-        bus = MessageBus()
+        bus = (FaultyMessageBus(self.fault_plan) if self.fault_plan is not None
+               else MessageBus())
         server = FLServer(kits["server"], bus, seed=self.seed)
         server.log_info("Create the simulate clients.")
 
@@ -116,6 +122,8 @@ class SimulatorRunner:
             evaluator=self.job.evaluator,
             result_filters=self.job.server_result_filters,
             min_clients=self.job.min_clients,
+            result_timeout=self.job.result_timeout,
+            max_failed_rounds=self.job.max_failed_rounds,
         )
 
         try:
@@ -125,9 +133,20 @@ class SimulatorRunner:
                 stats = self._run_sequential(controller, clients)
         finally:
             if self.threads:
+                # Join every worker thread even when the controller aborted
+                # mid-run or the stop fan-out itself hits a faulty bus: the
+                # stop flag (client.stop) does not depend on the __stop__
+                # message being deliverable.
                 server.stop_clients([client.name for client in clients])
+                stop_error: Exception | None = None
                 for client in clients:
-                    client.stop()
+                    try:
+                        client.stop()
+                    except Exception as error:  # keep joining the rest first
+                        stop_error = stop_error or error
+                # don't mask an in-flight controller error with a stop error
+                if stop_error is not None and sys.exc_info()[0] is None:
+                    raise stop_error
 
         final_weights = controller.global_weights
         try:

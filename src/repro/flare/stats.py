@@ -36,6 +36,11 @@ class RoundRecord:
     client_records: list[ClientRoundRecord] = field(default_factory=list)
     global_metrics: dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+    # Sites that were tasked but contributed no usable update (crashed,
+    # unreachable, timed out or returned a non-OK code).
+    dropped_clients: list[str] = field(default_factory=list)
+    # False when the round finished under quorum and aggregation was skipped.
+    quorum_met: bool = True
 
 
 @dataclass
@@ -45,6 +50,9 @@ class RunStats:
     rounds: list[RoundRecord] = field(default_factory=list)
     messages_delivered: int = 0
     bytes_delivered: int = 0
+    # Resend attempts made by all participants (server broadcasts + client
+    # result submissions) over the whole run.
+    retries: int = 0
 
     def add_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
@@ -52,6 +60,17 @@ class RunStats:
     @property
     def num_rounds(self) -> int:
         return len(self.rounds)
+
+    @property
+    def dropped_clients(self) -> list[str]:
+        """Every site that missed at least one round, sorted."""
+        return sorted({client for record in self.rounds
+                       for client in record.dropped_clients})
+
+    @property
+    def failed_rounds(self) -> int:
+        """Rounds that finished under quorum (aggregation skipped)."""
+        return sum(1 for record in self.rounds if not record.quorum_met)
 
     def global_metric_history(self, key: str) -> list[float]:
         """The per-round trajectory of a server-side metric."""
@@ -85,6 +104,9 @@ class RunStats:
         return {
             "messages_delivered": self.messages_delivered,
             "bytes_delivered": self.bytes_delivered,
+            "retries": self.retries,
+            "dropped_clients": self.dropped_clients,
+            "failed_rounds": self.failed_rounds,
             "rounds": [asdict(record) for record in self.rounds],
         }
 
@@ -98,7 +120,8 @@ class RunStats:
     @classmethod
     def from_dict(cls, payload: dict) -> "RunStats":
         stats = cls(messages_delivered=payload.get("messages_delivered", 0),
-                    bytes_delivered=payload.get("bytes_delivered", 0))
+                    bytes_delivered=payload.get("bytes_delivered", 0),
+                    retries=payload.get("retries", 0))
         for round_payload in payload.get("rounds", []):
             clients = [ClientRoundRecord(**c)
                        for c in round_payload.get("client_records", [])]
@@ -106,5 +129,7 @@ class RunStats:
                 round_number=round_payload["round_number"],
                 client_records=clients,
                 global_metrics=dict(round_payload.get("global_metrics", {})),
-                seconds=round_payload.get("seconds", 0.0)))
+                seconds=round_payload.get("seconds", 0.0),
+                dropped_clients=list(round_payload.get("dropped_clients", [])),
+                quorum_met=round_payload.get("quorum_met", True)))
         return stats

@@ -5,6 +5,12 @@ message body is real bytes (the Shareable's DXO payload is npz-encoded) and
 carries an HMAC-SHA256 tag under the session key established at
 registration, so the protocol steps — serialize, sign, enqueue, dequeue,
 verify, deserialize — all actually run.
+
+Reliability layer: every send carries an idempotency header
+(``ReservedKey.MSG_ID``, stable across resends) plus an attempt counter, the
+receive path deduplicates replayed/duplicated message ids after signature
+verification, and :func:`send_with_retry` adds bounded exponential backoff
+on top for lossy buses (see ``faults.FaultyMessageBus``).
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import json
 import queue
 import threading
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -19,11 +27,23 @@ from .constants import ReservedKey
 from .security import hmac_sign, hmac_verify
 from .shareable import Shareable
 
-__all__ = ["Message", "MessageBus", "TransportError"]
+__all__ = ["Message", "MessageBus", "TransportError", "ReceiveTimeout",
+           "SignatureError", "RetryPolicy", "send_with_retry"]
+
+# How many message ids each endpoint remembers for replay/duplicate detection.
+_DEDUP_WINDOW = 4096
 
 
 class TransportError(RuntimeError):
     """Raised on signature failures or undeliverable messages."""
+
+
+class ReceiveTimeout(TransportError):
+    """No message arrived within the receive timeout."""
+
+
+class SignatureError(TransportError):
+    """A message failed HMAC verification (tampered, corrupted or stale key)."""
 
 
 @dataclass
@@ -42,6 +62,59 @@ class Message:
             {"sender": self.sender, "recipient": self.recipient, "topic": self.topic,
              "headers": self.headers}, sort_keys=True).encode("utf-8")
         return header_bytes + b"\x00" + self.body
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for resends.
+
+    Deterministic (no jitter) so that simulated runs are reproducible; the
+    delay for attempt ``k`` is ``min(base_delay * multiplier**k, max_delay)``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1 (backoff must not shrink)")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff to sleep after failed attempt number ``attempt`` (0-based)."""
+        return min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+
+
+def send_with_retry(bus: "MessageBus", sender: str, recipient: str, topic: str,
+                    shareable: Shareable,
+                    policy: RetryPolicy | None = None) -> int:
+    """Send with bounded exponential backoff; returns the attempts used.
+
+    All attempts share one message id, so a receiver that already saw an
+    earlier attempt (e.g. the send "failed" after delivery) drops the resend
+    as a duplicate — resends are idempotent.  Raises :class:`TransportError`
+    only after ``policy.max_attempts`` consecutive failures.
+    """
+    policy = policy or RetryPolicy()
+    msg_id = bus.next_msg_id(sender)
+    last_error: TransportError | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            bus.send_shareable(sender, recipient, topic, shareable,
+                               msg_id=msg_id, attempt=attempt)
+            return attempt + 1
+        except TransportError as error:
+            last_error = error
+            if attempt + 1 < policy.max_attempts:
+                time.sleep(policy.delay_for(attempt))
+    raise TransportError(
+        f"message {topic!r} from {sender!r} to {recipient!r} undeliverable "
+        f"after {policy.max_attempts} attempt(s): {last_error}") from last_error
 
 
 def _encode_shareable(shareable: Shareable) -> bytes:
@@ -68,19 +141,29 @@ class MessageBus:
     Session keys are installed by the server when a client registers; traffic
     to or from a participant without a key is rejected, which is how the
     simulator enforces the "provision before train" ordering.
+
+    Every send is stamped with a message id (per-sender sequence, so ids are
+    deterministic under threaded sends) and an attempt counter; ``receive``
+    drops already-seen ids, which makes resends and replay attacks
+    exactly-once at the application layer.
     """
 
     def __init__(self) -> None:
         self._queues: dict[str, "queue.Queue[Message]"] = {}
         self._session_keys: dict[str, bytes] = {}
         self._lock = threading.Lock()
+        self._send_seq: dict[str, int] = {}
+        self._seen_ids: dict[str, OrderedDict] = {}
         self.delivered_count = 0
         self.delivered_bytes = 0
+        self.retry_count = 0          # sends carrying attempt > 0
+        self.duplicates_dropped = 0   # receives skipped by id dedup
 
     # ------------------------------------------------------------------
     def register_endpoint(self, name: str) -> None:
         with self._lock:
             self._queues.setdefault(name, queue.Queue())
+            self._seen_ids.setdefault(name, OrderedDict())
 
     def install_session_key(self, name: str, key: bytes) -> None:
         with self._lock:
@@ -92,42 +175,89 @@ class MessageBus:
         with self._lock:
             return self._session_keys.get(name)
 
+    def next_msg_id(self, sender: str) -> str:
+        """A fresh idempotency id; sequential per sender."""
+        with self._lock:
+            seq = self._send_seq.get(sender, 0)
+            self._send_seq[sender] = seq + 1
+        return f"{sender}:{seq}"
+
     # ------------------------------------------------------------------
     def send_shareable(self, sender: str, recipient: str, topic: str,
-                       shareable: Shareable) -> None:
-        """Serialize, sign with the sender's session key and enqueue."""
+                       shareable: Shareable, msg_id: str | None = None,
+                       attempt: int = 0) -> None:
+        """Serialize, sign with the sender's session key and enqueue.
+
+        ``msg_id`` defaults to a fresh id; retries must pass the original id
+        (see :func:`send_with_retry`) so the receiver can deduplicate.
+        """
         key = self.session_key(sender)
         if key is None:
             raise TransportError(f"endpoint {sender!r} has no session key (not registered)")
+        if msg_id is None:
+            msg_id = self.next_msg_id(sender)
         body = _encode_shareable(shareable)
         message = Message(sender=sender, recipient=recipient, topic=topic, body=body,
-                          headers={ReservedKey.CLIENT_NAME: sender})
+                          headers={ReservedKey.CLIENT_NAME: sender,
+                                   ReservedKey.MSG_ID: msg_id,
+                                   ReservedKey.ATTEMPT: attempt})
         message.signature = hmac_sign(message.signed_payload(), key)
+        if attempt > 0:
+            with self._lock:
+                self.retry_count += 1
+        self._enqueue(message)
+
+    def _enqueue(self, message: Message) -> None:
+        """Deliver one signed envelope (fault-injecting buses override this)."""
         with self._lock:
-            if recipient not in self._queues:
-                raise TransportError(f"unknown recipient {recipient!r}")
-            self._queues[recipient].put(message)
+            if message.recipient not in self._queues:
+                raise TransportError(f"unknown recipient {message.recipient!r}")
+            self._queues[message.recipient].put(message)
             self.delivered_count += 1
-            self.delivered_bytes += len(body)
+            self.delivered_bytes += len(message.body)
 
     def receive(self, name: str, timeout: float | None = 10.0) -> tuple[str, str, Shareable]:
-        """Dequeue, verify signature, deserialize.
+        """Dequeue, verify signature, deduplicate, deserialize.
 
-        Returns ``(sender, topic, shareable)``.
+        Returns ``(sender, topic, shareable)``.  Duplicated or replayed
+        message ids are skipped (the wait continues against the original
+        deadline); a bad signature raises :class:`SignatureError` and an
+        exhausted deadline raises :class:`ReceiveTimeout`.
         """
         with self._lock:
             if name not in self._queues:
                 raise TransportError(f"unknown endpoint {name!r}")
             q = self._queues[name]
-        try:
-            message = q.get(timeout=timeout)
-        except queue.Empty as error:
-            raise TransportError(f"no message for {name!r} within {timeout}s") from error
-        key = self.session_key(message.sender)
-        if key is None or not hmac_verify(message.signed_payload(), message.signature, key):
-            raise TransportError(
-                f"signature check failed for message {message.topic!r} from {message.sender!r}")
-        return message.sender, message.topic, _decode_shareable(message.body)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                message = q.get(timeout=remaining)
+            except queue.Empty as error:
+                raise ReceiveTimeout(
+                    f"no message for {name!r} within {timeout}s") from error
+            key = self.session_key(message.sender)
+            if key is None or not hmac_verify(message.signed_payload(), message.signature, key):
+                raise SignatureError(
+                    f"signature check failed for message {message.topic!r} "
+                    f"from {message.sender!r}")
+            msg_id = message.headers.get(ReservedKey.MSG_ID)
+            if msg_id is not None and not self._mark_seen(name, msg_id):
+                with self._lock:
+                    self.duplicates_dropped += 1
+                continue
+            return message.sender, message.topic, _decode_shareable(message.body)
+
+    def _mark_seen(self, name: str, msg_id: str) -> bool:
+        """Record ``msg_id`` for ``name``; False when it was already seen."""
+        with self._lock:
+            seen = self._seen_ids.setdefault(name, OrderedDict())
+            if msg_id in seen:
+                return False
+            seen[msg_id] = None
+            while len(seen) > _DEDUP_WINDOW:
+                seen.popitem(last=False)
+            return True
 
     def pending(self, name: str) -> int:
         with self._lock:

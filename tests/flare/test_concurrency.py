@@ -1,4 +1,4 @@
-"""Simulator concurrency control: the max_parallel training gate."""
+"""Simulator concurrency control: the max_parallel gate and thread hygiene."""
 
 from __future__ import annotations
 
@@ -7,10 +7,10 @@ import time
 
 import pytest
 
-from repro.flare import DXO, DataKind, FLJob, MetaKey, SimulatorRunner
+from repro.flare import DXO, DataKind, FaultPlan, FLJob, MetaKey, SimulatorRunner
 from repro.flare.learner import Learner
 
-from .helpers import toy_weights
+from .helpers import ToyLearner, toy_weights
 
 
 class ConcurrencyProbe(Learner):
@@ -74,3 +74,31 @@ def test_invalid_max_parallel():
                 learner_factory=ConcurrencyProbe)
     with pytest.raises(ValueError):
         SimulatorRunner(job, n_clients=2, max_parallel=0)
+
+
+class TestNoThreadLeaks:
+    """Every client worker thread must be joined, however the run ends."""
+
+    @staticmethod
+    def _live_threads() -> set[threading.Thread]:
+        return {t for t in threading.enumerate() if t.is_alive()}
+
+    def test_no_leak_after_faulted_run(self, tmp_path):
+        before = self._live_threads()
+        job = FLJob(name="leak-faulted", initial_weights=toy_weights(),
+                    learner_factory=lambda n: ToyLearner(n), num_rounds=2,
+                    min_clients=1, result_timeout=5.0)
+        plan = FaultPlan(seed=1, drop_prob=0.3, crashed_clients=("site-2",))
+        SimulatorRunner(job, n_clients=3, seed=0, run_dir=tmp_path,
+                        capture_log=False, fault_plan=plan).run()
+        assert self._live_threads() <= before
+
+    def test_threads_joined_when_controller_aborts(self, tmp_path):
+        before = self._live_threads()
+        job = FLJob(name="leak-abort", initial_weights=toy_weights(),
+                    learner_factory=lambda n: ToyLearner(n, fail_on_round=0),
+                    num_rounds=3, result_timeout=5.0)
+        with pytest.raises(RuntimeError, match="usable results"):
+            SimulatorRunner(job, n_clients=2, seed=0, run_dir=tmp_path,
+                            capture_log=False).run()
+        assert self._live_threads() <= before
