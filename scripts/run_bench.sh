@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# Benchmark this checkout against the pre-fusion baseline → BENCH_pr2.json.
+#
+# Protocol: the baseline revision is checked out into a temporary git
+# worktree, and baseline/candidate runs of the model-throughput benchmark are
+# strictly *interleaved* (base, cand, base, cand, ...).  On a shared machine
+# absolute step times drift by tens of percent between time windows, so only
+# back-to-back pairs produce trustworthy ratios; the report keeps every round
+# and summarises min- and median-based speedups.  The fused-vs-reference op
+# microbenchmark runs once on the candidate side.
+#
+# Usage:
+#   scripts/run_bench.sh
+#
+# Environment:
+#   BASELINE_REF  git rev to benchmark against (default: pre-fusion commit)
+#   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
+#   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
+#   BENCH_OUT     output path (default: BENCH_pr2.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep='^PR 1:' -n 1)}"
+if [ -z "$BASELINE_REF" ]; then
+    echo "error: could not resolve baseline rev; set BASELINE_REF" >&2
+    exit 1
+fi
+BENCH_MODELS="${BENCH_MODELS:-bert-mini,lstm,bert}"
+BENCH_ROUNDS="${BENCH_ROUNDS:-3}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr2.json}"
+
+WORK="$(mktemp -d)"
+BASE_TREE="$WORK/baseline"
+trap 'git worktree remove --force "$BASE_TREE" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+git worktree add --detach --quiet "$BASE_TREE" "$BASELINE_REF"
+
+NODE_IDS=()
+IFS=',' read -ra MODEL_ARR <<<"$BENCH_MODELS"
+for m in "${MODEL_ARR[@]}"; do
+    NODE_IDS+=("benchmarks/test_model_throughput.py::test_train_step_throughput[$m]")
+done
+
+run_side() {  # run_side <tree> <json-out>
+    (cd "$1" && PYTHONPATH="$1/src" python -m pytest "${NODE_IDS[@]}" \
+        -q --benchmark-json="$2" >/dev/null)
+}
+
+for round in $(seq 1 "$BENCH_ROUNDS"); do
+    echo "round $round/$BENCH_ROUNDS: baseline ($BASELINE_REF)" >&2
+    run_side "$BASE_TREE" "$WORK/base_$round.json"
+    echo "round $round/$BENCH_ROUNDS: candidate" >&2
+    run_side "$PWD" "$WORK/cand_$round.json"
+done
+
+echo "op microbench (fused vs reference)" >&2
+PYTHONPATH="src" python -m pytest benchmarks/test_fused_ops_microbench.py \
+    -q --benchmark-json="$WORK/micro.json" >/dev/null
+
+python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" <<'EOF'
+import json
+import statistics
+import subprocess
+import sys
+
+work, rounds, baseline_ref, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    stats = {}
+    for bench in data["benchmarks"]:
+        stats[bench["name"]] = {"min": bench["stats"]["min"],
+                                "median": bench["stats"]["median"]}
+    return stats
+
+
+rounds_out, models = [], {}
+for i in range(1, rounds + 1):
+    base = load(f"{work}/base_{i}.json")
+    cand = load(f"{work}/cand_{i}.json")
+    rounds_out.append({"round": i, "baseline_s": base, "candidate_s": cand})
+    for name in base:
+        if name in cand:
+            models.setdefault(name, {"baseline_min_s": [], "candidate_min_s": [],
+                                     "speedup_min": [], "speedup_median": []})
+            models[name]["baseline_min_s"].append(base[name]["min"])
+            models[name]["candidate_min_s"].append(cand[name]["min"])
+            models[name]["speedup_min"].append(base[name]["min"] / cand[name]["min"])
+            models[name]["speedup_median"].append(
+                base[name]["median"] / cand[name]["median"])
+
+summary = {}
+for name, m in models.items():
+    short = name.split("[")[-1].rstrip("]")
+    summary[short] = {
+        "baseline_min_ms": round(min(m["baseline_min_s"]) * 1e3, 2),
+        "candidate_min_ms": round(min(m["candidate_min_s"]) * 1e3, 2),
+        "speedup_best_round_min": round(max(m["speedup_min"]), 2),
+        "speedup_median_of_rounds": round(statistics.median(m["speedup_min"]), 2),
+        "speedup_by_round_min": [round(s, 2) for s in m["speedup_min"]],
+        "speedup_by_round_median": [round(s, 2) for s in m["speedup_median"]],
+    }
+
+micro = load(f"{work}/micro.json")
+micro_out = {}
+for name, stat in micro.items():
+    op, impl = name.rsplit("[", 1)
+    impl = impl.rstrip("]")
+    micro_out.setdefault(op, {})[impl + "_us"] = round(stat["min"] * 1e6, 1)
+for op, pair in micro_out.items():
+    if "fused_us" in pair and "reference_us" in pair:
+        pair["speedup"] = round(pair["reference_us"] / pair["fused_us"], 2)
+
+head = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
+                      text=True).stdout.strip()
+report = {
+    "protocol": {
+        "baseline_ref": baseline_ref,
+        "candidate_ref": head,
+        "interleaved_rounds": rounds,
+        "workload": "forward+backward train step, batch 16, seq 40, vocab 200",
+        "note": ("baseline and candidate alternate back-to-back; compare "
+                 "per-round ratios, not absolute times, on shared machines"),
+    },
+    "models": summary,
+    "op_microbench_fwd_bwd": micro_out,
+    "rounds": rounds_out,
+}
+with open(out_path, "w") as fh:
+    json.dump(report, fh, indent=2)
+print(f"wrote {out_path}")
+for name, s in summary.items():
+    print(f"  {name}: min {s['speedup_best_round_min']}x, "
+          f"median-of-rounds {s['speedup_median_of_rounds']}x")
+EOF

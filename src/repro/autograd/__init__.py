@@ -5,7 +5,11 @@ Stands in for PyTorch in this reproduction: a reverse-mode autodiff
 gradient clipping and checkpoint serialization.
 """
 
-from . import functional, init
+from ._malloc import tune_malloc
+
+tune_malloc()  # keep large numpy temporaries on the heap (see _malloc.py)
+
+from . import functional, init, reference
 from .clip import clip_grad_norm, clip_grad_value, grad_global_norm
 from .module import Module, ModuleList, Parameter
 from .numerical import check_gradients, numerical_grad
@@ -23,15 +27,26 @@ from .serialization import (
     state_dict_from_bytes,
     state_dict_to_bytes,
 )
-from .tensor import Tensor, is_grad_enabled, no_grad, ones, tensor, zeros
+from .tensor import (
+    Tensor,
+    default_dtype,
+    get_default_dtype,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    set_default_dtype,
+    tensor,
+    zeros,
+)
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
+    "get_default_dtype", "set_default_dtype", "default_dtype",
     "Module", "ModuleList", "Parameter",
     "Optimizer", "SGD", "Adam", "AdamW",
     "LRScheduler", "ConstantLR", "StepLR", "CosineAnnealingLR", "WarmupLinearLR",
     "clip_grad_norm", "clip_grad_value", "grad_global_norm",
     "save_state_dict", "load_state_dict", "state_dict_to_bytes", "state_dict_from_bytes",
     "check_gradients", "numerical_grad",
-    "functional", "init",
+    "functional", "init", "reference", "tune_malloc",
 ]

@@ -16,6 +16,11 @@ from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "ModuleList"]
 
+# Bumped whenever any module registers or removes a parameter/sub-module.
+# Per-module parameter caches are validated against it, so structural edits
+# anywhere in a tree invalidate every cache without parent back-pointers.
+_structure_version = 0
+
 
 class Parameter(Tensor):
     """A tensor that is registered as a trainable model parameter."""
@@ -41,21 +46,28 @@ class Module:
     # registration
     # ------------------------------------------------------------------
     def __setattr__(self, name: str, value) -> None:
+        global _structure_version
         params = self.__dict__.get("_parameters")
         modules = self.__dict__.get("_modules")
         if params is None or modules is None:
             raise AttributeError("Module.__init__() must be called before assigning attributes")
-        params.pop(name, None)
-        modules.pop(name, None)
+        changed = params.pop(name, None) is not None
+        changed = modules.pop(name, None) is not None or changed
         if isinstance(value, Parameter):
             params[name] = value
+            changed = True
         elif isinstance(value, Module):
             modules[name] = value
+            changed = True
+        if changed:
+            _structure_version += 1
         object.__setattr__(self, name, value)
 
     def add_module(self, name: str, module: "Module") -> None:
         """Register a child module under an explicit name."""
+        global _structure_version
         self._modules[name] = module
+        _structure_version += 1
         object.__setattr__(self, name, module)
 
     # ------------------------------------------------------------------
@@ -69,13 +81,22 @@ class Module:
             yield from module.named_parameters(prefix=f"{prefix}{name}.")
 
     def parameters(self) -> list[Parameter]:
-        """All parameters, deduplicated (tied weights appear once)."""
+        """All parameters, deduplicated (tied weights appear once).
+
+        The flattened list is cached per module and revalidated against the
+        global structure version, so per-step calls (``zero_grad``, optimizer
+        loops) skip the tree walk.
+        """
+        cached = self.__dict__.get("_param_cache")
+        if cached is not None and cached[0] == _structure_version:
+            return list(cached[1])
         seen: set[int] = set()
         unique: list[Parameter] = []
         for _, param in self.named_parameters():
             if id(param) not in seen:
                 seen.add(id(param))
                 unique.append(param)
+        object.__setattr__(self, "_param_cache", (_structure_version, tuple(unique)))
         return unique
 
     def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:

@@ -19,12 +19,46 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
+           "get_default_dtype", "set_default_dtype", "default_dtype"]
 
 # Grad recording is a *per-thread* mode: the federated simulator trains on
 # client threads while the server evaluates under no_grad() on the main
 # thread, and the two must not interfere.
 _GRAD_STATE = threading.local()
+
+# Default floating dtype for tensors created from python scalars, lists,
+# integer/boolean arrays and unadorned float64 scalars.  float32 halves the
+# memory bandwidth of every constant and mask in the training loop; arrays
+# that arrive with an explicit float dtype (e.g. float64 for gradient
+# checking) are left untouched.
+_DEFAULT_DTYPE = np.dtype(np.float32)
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the floating dtype used for dtype-less tensor construction."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the default floating dtype (float32/float64); returns the old one."""
+    global _DEFAULT_DTYPE
+    new = np.dtype(dtype)
+    if new.kind != "f":
+        raise ValueError(f"default dtype must be floating, got {new}")
+    old = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = new
+    return old
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager that temporarily switches the default floating dtype."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def _grad_enabled() -> bool:
@@ -70,9 +104,19 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 def _as_array(value: Any, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         raise TypeError("expected raw data, got a Tensor")
-    arr = np.asarray(value, dtype=dtype)
-    if arr.dtype.kind in "iub":  # integers/bools promote to float for math
-        arr = arr.astype(np.float64 if dtype is None else dtype)
+    if dtype is not None:
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, (np.ndarray, np.generic)):
+        # arrays and numpy scalars (e.g. float64 sums of float64 arrays)
+        # keep their explicit float dtype; only ints/bools promote
+        arr = np.asarray(value)
+        if arr.dtype.kind in "iub":
+            return arr.astype(_DEFAULT_DTYPE)
+        return arr
+    arr = np.asarray(value)
+    if arr.dtype.kind in "iub" or arr.dtype == np.float64:
+        # python scalars/lists land on the default dtype instead of float64
+        arr = arr.astype(_DEFAULT_DTYPE)
     return arr
 
 
@@ -133,7 +177,10 @@ class Tensor:
         return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_note})"
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a 1-element tensor, got shape {self.data.shape}")
+        return float(self.data.reshape(-1)[0])
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (shared, not copied)."""
@@ -166,6 +213,22 @@ class Tensor:
             self.grad = grad.copy()
         else:
             self.grad += grad
+
+    def _accumulate_owned(self, grad: np.ndarray) -> None:
+        """Accumulate a gradient buffer the caller exclusively owns.
+
+        Unlike :meth:`_accumulate`, the buffer is adopted without a defensive
+        copy when it can serve as the gradient directly.  Only backward
+        closures may use this, and only for arrays (or non-overlapping views
+        of arrays) they freshly allocated and will not touch again.
+        """
+        if not self.requires_grad:
+            return
+        if (self.grad is None and type(grad) is np.ndarray
+                and grad.shape == self.data.shape and grad.dtype == self.data.dtype):
+            self.grad = grad
+        else:
+            self._accumulate(grad)
 
     # ------------------------------------------------------------------
     # backward pass
@@ -223,12 +286,15 @@ class Tensor:
     # ------------------------------------------------------------------
     def _coerce(self, other: Any) -> "Tensor":
         """Wrap a non-Tensor operand, matching this tensor's float dtype so
-        python-scalar constants do not silently promote float32 graphs."""
+        python-scalar constants do not silently promote float32 graphs (and,
+        for float64 graphs, are not first rounded through the default
+        dtype)."""
         if isinstance(other, Tensor):
             return other
-        wrapped = Tensor(other)
-        if wrapped.data.dtype != self.data.dtype and self.data.dtype.kind == "f":
-            wrapped.data = wrapped.data.astype(self.data.dtype)
+        if self.data.dtype.kind == "f":
+            wrapped = Tensor(_as_array(other, dtype=self.data.dtype))
+        else:
+            wrapped = Tensor(other)
         return wrapped
 
     def __add__(self, other: Any) -> "Tensor":
@@ -522,8 +588,8 @@ def tensor(data: Any, requires_grad: bool = False) -> Tensor:
 
 
 def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
 
 
 def ones(*shape: int, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Module, Tensor
+from ..autograd import Module, Tensor, functional as F
 from ..nn import (
     ClassificationHead,
     Dropout,
@@ -46,9 +46,12 @@ class BertModel(Module):
                 attention_mask: np.ndarray | None = None) -> Tensor:
         """Encode ``(batch, seq)`` token ids to ``(batch, seq, hidden)`` states."""
         input_ids = np.asarray(input_ids, dtype=np.int64)
-        _, seq = input_ids.shape
-        embedded = self.token_embedding(input_ids) + self.position_embedding(seq)
-        embedded = self.embed_dropout(self.embed_norm(embedded))
+        # lookup + position add + norm + embedding dropout as one fused node
+        embedded = F.embed_layer_norm(
+            self.token_embedding.weight, self.position_embedding.weight,
+            input_ids, self.embed_norm.weight, self.embed_norm.bias,
+            eps=self.embed_norm.eps, dropout_p=self.embed_dropout.p,
+            training=self.embed_dropout.training, rng=self.embed_dropout._rng)
         return self.encoder(embedded, attention_mask=attention_mask)
 
 

@@ -9,8 +9,6 @@ divisible by 6).
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..autograd import Module, Tensor, functional as F
@@ -56,10 +54,9 @@ class MultiHeadSelfAttention(Module):
         self.out = Linear(inner, dim, rng=rng)
         self.attn_dropout = Dropout(dropout, rng=rng)
 
-    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
-        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
-
-    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None,
+                out_dropout: Dropout | None = None,
+                post_norm: Module | None = None) -> Tensor:
         """Apply self-attention.
 
         Parameters
@@ -69,21 +66,46 @@ class MultiHeadSelfAttention(Module):
         attention_mask:
             Optional boolean ``(batch, seq)`` array; True marks *valid* tokens.
             Padding positions are excluded from the softmax.
+        out_dropout:
+            Optional :class:`Dropout` applied to the block output — folded
+            into the fused attention node instead of running as its own op.
+        post_norm:
+            Optional :class:`~repro.nn.LayerNorm`.  When given, the residual
+            add and post-layer-norm ``LN(x + attn(x))`` are folded into the
+            same node too, so the whole encoder sublayer is one op.
         """
         batch, seq, _ = x.shape
-        q = self._split_heads(self.query(x), batch, seq)
-        k = self._split_heads(self.key(x), batch, seq)
-        v = self._split_heads(self.value(x), batch, seq)
-
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
         if attention_mask is not None:
             mask = np.asarray(attention_mask, dtype=bool)
             if mask.shape != (batch, seq):
                 raise ValueError(f"attention_mask shape {mask.shape} != {(batch, seq)}")
-            # broadcast over heads and query positions; mask out padded keys
-            blocked = ~mask[:, None, None, :]
-            scores = scores.masked_fill(np.broadcast_to(blocked, scores.shape), -1e9)
-        probs = self.attn_dropout(F.softmax(scores, axis=-1))
-        context = probs @ v  # (batch, heads, seq, head_dim)
-        merged = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.num_heads * self.head_dim)
-        return self.out(merged)
+            # broadcast over heads and query positions lazily: the fused
+            # kernel consumes the (batch, 1, 1, seq) key-padding mask without
+            # materializing it at full (batch, heads, seq, seq) score shape
+            mask = mask[:, None, None, :]
+        else:
+            mask = None
+        # the whole block -- Q/K/V projections, head split, masked softmax,
+        # probability dropout, head merge, output projection (and, with
+        # post_norm, the residual add + layer norm) -- is one fused graph node
+        common = dict(
+            attention_mask=mask,
+            dropout_p=self.attn_dropout.p,
+            training=self.attn_dropout.training,
+            rng=self.attn_dropout._rng,
+            out_dropout_p=out_dropout.p if out_dropout is not None and out_dropout.training else 0.0,
+            out_rng=out_dropout._rng if out_dropout is not None else None)
+        if post_norm is not None:
+            return F.attention_layer(
+                x, self.query.weight, self.query.bias,
+                self.key.weight, self.key.bias,
+                self.value.weight, self.value.bias,
+                self.out.weight, self.out.bias,
+                self.num_heads, post_norm.weight, post_norm.bias,
+                eps=post_norm.eps, **common)
+        return F.multi_head_attention(
+            x, self.query.weight, self.query.bias,
+            self.key.weight, self.key.bias,
+            self.value.weight, self.value.bias,
+            self.out.weight, self.out.bias,
+            self.num_heads, **common)

@@ -52,7 +52,12 @@ class ClassificationHead(Module):
         self.classifier = Linear(dim, num_classes, rng=rng)
 
     def forward(self, pooled: Tensor) -> Tensor:
-        return self.classifier(self.dropout(self.dense(pooled).tanh()))
+        # dense -> tanh -> dropout -> classifier as one fused node
+        return F.tanh_head(pooled, self.dense.weight, self.dense.bias,
+                           self.classifier.weight, self.classifier.bias,
+                           dropout_p=self.dropout.p,
+                           training=self.dropout.training,
+                           rng=self.dropout._rng)
 
 
 class MLMHead(Module):
@@ -82,6 +87,10 @@ class MLMHead(Module):
         self.decoder_bias = Parameter(np.zeros(vocab_size, dtype=np.float32))
 
     def forward(self, hidden: Tensor) -> Tensor:
-        """Map ``(batch, seq, dim)`` hidden states to vocab logits."""
+        """Map ``(batch, seq, dim)`` hidden states to vocab logits.
+
+        ``F.gelu`` here is the fused kernel; the decoder is a plain linear
+        projection against the (possibly tied) embedding table.
+        """
         transformed = self.norm(F.gelu(self.transform(hidden)))
-        return transformed @ self.decoder_weight.transpose() + self.decoder_bias
+        return F.linear(transformed, self.decoder_weight, self.decoder_bias)

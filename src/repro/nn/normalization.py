@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Module, Parameter, Tensor
+from ..autograd import Module, Parameter, Tensor, functional as F
 
 __all__ = ["LayerNorm"]
 
@@ -12,8 +12,9 @@ __all__ = ["LayerNorm"]
 class LayerNorm(Module):
     """Normalise over the last axis, then scale and shift.
 
-    Composed from differentiable primitives, so the gradient flows through the
-    mean and variance terms exactly as in the textbook derivation.
+    Uses the fused :func:`repro.autograd.functional.layer_norm` kernel — one
+    graph node with the closed-form backward instead of differentiating
+    through the mean/variance composition.
     """
 
     def __init__(self, dim: int, eps: float = 1e-5) -> None:
@@ -28,11 +29,7 @@ class LayerNorm(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.dim:
             raise ValueError(f"expected last dim {self.dim}, got {x.shape[-1]}")
-        mean = x.mean(axis=-1, keepdims=True)
-        centered = x - mean
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalised = centered * ((variance + self.eps) ** -0.5)
-        return normalised * self.weight + self.bias
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
     def __repr__(self) -> str:
         return f"LayerNorm(dim={self.dim}, eps={self.eps})"

@@ -1,16 +1,19 @@
 """Recurrent layers: LSTM cell and multi-layer LSTM.
 
 The paper's "recursive" model is a 3-layer LSTM classifier with hidden
-dimension 128 (Table II).  The time loop is explicit Python; each step is a
-vectorised batch update, which is adequate at the sequence lengths the EHR
-code sequences use.
+dimension 128 (Table II).  The time loop is explicit Python, but the hot
+path is batched: the input projection ``x @ W_ih^T + b`` for a whole layer
+is hoisted out of the loop as one ``(batch*seq, 4H)`` matmul (the cuDNN
+trick), and each step then runs as a single fused
+:func:`repro.autograd.functional.lstm_step` graph node instead of ~15
+primitive ops.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..autograd import Module, Parameter, Tensor
+from ..autograd import Module, Parameter, Tensor, functional as F
 from .dropout import Dropout
 
 __all__ = ["LSTMCell", "LSTM"]
@@ -41,16 +44,20 @@ class LSTMCell(Module):
 
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
         """Advance one step: ``x`` is ``(batch, input_dim)``; returns ``(h, c)``."""
+        gates_x = F.linear(x, self.weight_ih, self.bias)
+        return self.step(gates_x, state)
+
+    def step(self, gates_x: Tensor, state: tuple[Tensor, Tensor],
+             step_mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        """Advance one step from a precomputed input projection.
+
+        ``gates_x`` is ``x_t @ W_ih^T + b`` — hoisting that matmul out of the
+        time loop (one ``(batch*seq, 4H)`` product per layer) is what the
+        :class:`LSTM` wrapper does.
+        """
         h_prev, c_prev = state
-        gates = x @ self.weight_ih.transpose() + h_prev @ self.weight_hh.transpose() + self.bias
-        hd = self.hidden_dim
-        i = gates[:, 0 * hd:1 * hd].sigmoid()
-        f = gates[:, 1 * hd:2 * hd].sigmoid()
-        g = gates[:, 2 * hd:3 * hd].tanh()
-        o = gates[:, 3 * hd:4 * hd].sigmoid()
-        c = f * c_prev + i * g
-        h = o * c.tanh()
-        return h, c
+        return F.lstm_step(gates_x, h_prev, c_prev, self.weight_hh,
+                           step_mask=step_mask)
 
     def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
         zeros = np.zeros((batch, self.hidden_dim), dtype=np.float32)
@@ -116,17 +123,15 @@ class LSTM(Module):
                 raise ValueError(f"mask shape {mask.shape} != {(batch, seq)}")
 
         def run_direction(cell, layer_input: Tensor, time_order) -> tuple[list[Tensor], Tensor, Tensor]:
+            # Batch the input projection over the whole sequence: one
+            # (batch*seq, 4H) matmul instead of `seq` small ones.
+            proj = F.linear(layer_input, cell.weight_ih, cell.bias)
+            gates_per_step = F.unbind(proj, axis=1)
             h, c = cell.initial_state(batch)
             outputs: list[Tensor | None] = [None] * seq
             for t in time_order:
-                step = layer_input[:, t, :]
-                h_new, c_new = cell(step, (h, c))
-                if mask is not None:
-                    keep = Tensor(mask[:, t].astype(x.dtype)[:, None])
-                    h = h_new * keep + h * (1.0 - keep)
-                    c = c_new * keep + c * (1.0 - keep)
-                else:
-                    h, c = h_new, c_new
+                step_mask = mask[:, t] if mask is not None else None
+                h, c = cell.step(gates_per_step[t], (h, c), step_mask=step_mask)
                 outputs[t] = h
             return outputs, h, c  # type: ignore[return-value]
 

@@ -29,10 +29,15 @@ class TransformerEncoderLayer(Module):
         self.dropout = Dropout(dropout, rng=rng)
 
     def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
-        attended = self.dropout(self.attention(x, attention_mask=attention_mask))
-        x = self.attn_norm(x + attended)
-        hidden = self.ffn_out(F.gelu(self.ffn_in(x)))
-        return self.ffn_norm(x + self.dropout(hidden))
+        # each sublayer -- projections, activation, output dropout, residual
+        # add and post-norm -- runs as a single fused graph node
+        x = self.attention(x, attention_mask=attention_mask,
+                           out_dropout=self.dropout, post_norm=self.attn_norm)
+        return F.ffn_layer(x, self.ffn_in.weight, self.ffn_in.bias,
+                           self.ffn_out.weight, self.ffn_out.bias,
+                           self.ffn_norm.weight, self.ffn_norm.bias,
+                           dropout_p=self.dropout.p, training=self.dropout.training,
+                           rng=self.dropout._rng, eps=self.ffn_norm.eps)
 
 
 class TransformerEncoder(Module):

@@ -105,11 +105,19 @@ class ClinicalClassificationLearner(Learner):
         else:
             payload = {key: np.asarray(value) for key, value in updated.items()}
             kind = DataKind.WEIGHTS
+        mean_epoch_seconds = (sum(self.epoch_seconds) / len(self.epoch_seconds)
+                              if self.epoch_seconds else float("nan"))
         meta = {
             MetaKey.NUM_STEPS_CURRENT_ROUND: len(self.train_data) * self.local_epochs,
             "train_loss": last_loss,
             "valid_acc": valid_acc,
             "site": self.site_name,
+            # local-training throughput: the dominant term of federated
+            # round wall-clock time, surfaced so the server can spot slow
+            # sites from the aggregation logs alone
+            "seconds_per_epoch": mean_epoch_seconds,
+            "samples_per_second": len(self.train_data) / mean_epoch_seconds
+            if mean_epoch_seconds > 0 else float("nan"),
         }
         return DXO(data_kind=kind, data=payload, meta=meta)
 

@@ -53,6 +53,7 @@ class MlmPretrainLearner(Learner):
         history = train_mlm(self.model, self.train_data, self.collator, config,
                             optimizer=optimizer)
         mlm_loss = history[-1].train_loss
+        epoch_seconds = sum(m.seconds for m in history) / len(history)
         self.log_info("Local epoch %s: %d/%d (lr=%s), mlm_loss=%.3f",
                       self.site_name, self.local_epochs, self.local_epochs,
                       self.lr, mlm_loss)
@@ -60,7 +61,10 @@ class MlmPretrainLearner(Learner):
             data_kind=DataKind.WEIGHTS,
             data={key: np.asarray(value) for key, value in self.model.state_dict().items()},
             meta={MetaKey.NUM_STEPS_CURRENT_ROUND: len(self.train_data) * self.local_epochs,
-                  "train_loss": mlm_loss, "site": self.site_name},
+                  "train_loss": mlm_loss, "site": self.site_name,
+                  "seconds_per_epoch": epoch_seconds,
+                  "samples_per_second": len(self.train_data) / epoch_seconds
+                  if epoch_seconds > 0 else float("nan")},
         )
 
     def validate(self, dxo: DXO, fl_ctx: FLContext) -> dict[str, float]:

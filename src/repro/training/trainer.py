@@ -81,7 +81,7 @@ def train_classifier(model: Module, dataset: ClassificationDataset,
             if regularizer is not None:
                 loss = loss + regularizer(model)
             _step(model, optimizer, loss, config.max_grad_norm)
-            averager.update(float(loss.data), weight=len(labels))
+            averager.update(loss.item(), weight=len(labels))
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
                                seconds=time.perf_counter() - started)
         if valid is not None and len(valid):
@@ -113,7 +113,7 @@ def evaluate_classifier(model: Module, dataset: ClassificationDataset,
             logits = model(ids, attention_mask=mask)
             loss = F.cross_entropy(logits, labels)
             accuracy.update(top1_accuracy(logits.data, labels), weight=len(labels))
-            loss_avg.update(float(loss.data), weight=len(labels))
+            loss_avg.update(loss.item(), weight=len(labels))
     model.train()
     return accuracy.average, loss_avg.average
 
@@ -131,16 +131,15 @@ def train_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
         averager = MetricAverager()
         for ids, mask in dataset.iter_batches(config.batch_size, shuffle=True, rng=rng):
             example = collator(ids, mask)
-            vocab = len(collator.vocab)
-            logits = model(example.input_ids, attention_mask=example.attention_mask)
-            loss = F.cross_entropy(logits.reshape(-1, vocab),
-                                   example.labels.reshape(-1),
-                                   ignore_index=IGNORE_INDEX)
             n_targets = int((example.labels != IGNORE_INDEX).sum())
             if n_targets == 0:
                 continue  # tiny batch where masking selected nothing
+            logits = model(example.input_ids, attention_mask=example.attention_mask)
+            # fused cross_entropy flattens (batch, seq, vocab) internally
+            loss = F.cross_entropy(logits, example.labels.reshape(-1),
+                                   ignore_index=IGNORE_INDEX)
             _step(model, optimizer, loss, config.max_grad_norm)
-            averager.update(float(loss.data), weight=n_targets)
+            averager.update(loss.item(), weight=n_targets)
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
                                seconds=time.perf_counter() - started)
         if valid is not None and len(valid):
@@ -154,7 +153,6 @@ def evaluate_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
     """Mean MLM loss over a held-out set."""
     model.eval()
     averager = MetricAverager()
-    vocab = len(collator.vocab)
     with no_grad():
         for ids, mask in dataset.iter_batches(batch_size):
             example = collator(ids, mask)
@@ -162,9 +160,8 @@ def evaluate_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
             if n_targets == 0:
                 continue
             logits = model(example.input_ids, attention_mask=example.attention_mask)
-            loss = F.cross_entropy(logits.reshape(-1, vocab),
-                                   example.labels.reshape(-1),
+            loss = F.cross_entropy(logits, example.labels.reshape(-1),
                                    ignore_index=IGNORE_INDEX)
-            averager.update(float(loss.data), weight=n_targets)
+            averager.update(loss.item(), weight=n_targets)
     model.train()
     return averager.average
