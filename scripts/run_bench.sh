@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Benchmark this checkout against the pre-fusion baseline → BENCH_pr2.json.
+# Benchmark this checkout against a baseline revision → BENCH_pr<N>.json.
 #
 # Protocol: the baseline revision is checked out into a temporary git
 # worktree, and baseline/candidate runs of the model-throughput benchmark are
@@ -13,21 +13,24 @@
 #   scripts/run_bench.sh
 #
 # Environment:
-#   BASELINE_REF  git rev to benchmark against (default: pre-fusion commit)
+#   BENCH_PR      PR number being benchmarked; names the output file and picks
+#                 the default baseline ("PR <N-1>:" commit) (default: 2)
+#   BASELINE_REF  git rev to benchmark against (default: the "PR <N-1>:" commit)
 #   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
 #   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
-#   BENCH_OUT     output path (default: BENCH_pr2.json in the repo root)
+#   BENCH_OUT     output path (default: BENCH_pr${BENCH_PR}.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep='^PR 1:' -n 1)}"
+BENCH_PR="${BENCH_PR:-2}"
+BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep="^PR $((BENCH_PR - 1)):" -n 1)}"
 if [ -z "$BASELINE_REF" ]; then
     echo "error: could not resolve baseline rev; set BASELINE_REF" >&2
     exit 1
 fi
 BENCH_MODELS="${BENCH_MODELS:-bert-mini,lstm,bert}"
 BENCH_ROUNDS="${BENCH_ROUNDS:-3}"
-BENCH_OUT="${BENCH_OUT:-BENCH_pr2.json}"
+BENCH_OUT="${BENCH_OUT:-BENCH_pr${BENCH_PR}.json}"
 
 WORK="$(mktemp -d)"
 BASE_TREE="$WORK/baseline"
@@ -56,13 +59,16 @@ echo "op microbench (fused vs reference)" >&2
 PYTHONPATH="src" python -m pytest benchmarks/test_fused_ops_microbench.py \
     -q --benchmark-json="$WORK/micro.json" >/dev/null
 
-python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" <<'EOF'
+PYTHONPATH="src" python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" "$BENCH_PR" <<'EOF'
 import json
 import statistics
 import subprocess
 import sys
 
+from repro.obs.metrics import MetricsRegistry
+
 work, rounds, baseline_ref, out_path = sys.argv[1], int(sys.argv[2]), sys.argv[3], sys.argv[4]
+bench_pr = int(sys.argv[5])
 
 
 def load(path):
@@ -112,10 +118,24 @@ for op, pair in micro_out.items():
     if "fused_us" in pair and "reference_us" in pair:
         pair["speedup"] = round(pair["reference_us"] / pair["fused_us"], 2)
 
+# Per-step timings in the shared repro.obs.metrics/v1 schema, so run-report
+# tooling and metrics.json consumers can read BENCH_*.json the same way.
+registry = MetricsRegistry()
+for name, m in models.items():
+    short = name.split("[")[-1].rstrip("]")
+    for side in ("baseline", "candidate"):
+        for value in m[f"{side}_min_s"]:
+            registry.histogram("bench.step_seconds", model=short,
+                               side=side).observe(value)
+    registry.gauge("bench.speedup_min", model=short).set(max(m["speedup_min"]))
+    registry.gauge("bench.speedup_median_of_rounds",
+                   model=short).set(statistics.median(m["speedup_min"]))
+
 head = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                       text=True).stdout.strip()
 report = {
     "protocol": {
+        "pr": bench_pr,
         "baseline_ref": baseline_ref,
         "candidate_ref": head,
         "interleaved_rounds": rounds,
@@ -125,6 +145,7 @@ report = {
     },
     "models": summary,
     "op_microbench_fwd_bwd": micro_out,
+    "metrics": registry.to_dict(),
     "rounds": rounds_out,
 }
 with open(out_path, "w") as fh:

@@ -18,11 +18,14 @@ Subpackages
     Learners, training loops and the centralized/standalone/FL schemes.
 ``repro.experiments``
     Reproductions of Table III, Fig. 2 and Fig. 3.
+``repro.obs``
+    Federation-wide telemetry: metrics registry, trace spans, op profiler
+    and the ``python -m repro.obs report`` CLI.
 """
 
-from . import autograd, data, experiments, flare, models, nn, training
+from . import autograd, data, experiments, flare, models, nn, obs, training
 
 __version__ = "1.0.0"
 
 __all__ = ["autograd", "nn", "models", "data", "flare", "training",
-           "experiments", "__version__"]
+           "experiments", "obs", "__version__"]

@@ -34,6 +34,12 @@ _GRAD_STATE = threading.local()
 # checking) are left untouched.
 _DEFAULT_DTYPE = np.dtype(np.float32)
 
+# Op-profiler hook installed by ``repro.obs.profiler.OpProfiler`` (never set
+# directly).  Checked on every graph-node creation, so the disabled cost is
+# one global load + is-None test; when set, the hook counts the node/bytes
+# and returns a timing wrapper around the backward closure.
+_PROFILE_HOOK = None
+
 
 def get_default_dtype() -> np.dtype:
     """Return the floating dtype used for dtype-less tensor construction."""
@@ -202,6 +208,9 @@ class Tensor:
         requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else (), _op=op)
         if requires:
+            hook = _PROFILE_HOOK
+            if hook is not None:
+                backward = hook.record_node(op, out.data.nbytes, backward)
             out._backward = backward
         return out
 

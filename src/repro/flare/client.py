@@ -7,6 +7,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
+from ..obs import trace as obs_trace
 from .constants import EventType, ReservedKey, ReturnCode, TaskName
 from .dxo import DXO, MetaKey
 from .events import FLComponent
@@ -83,6 +84,14 @@ class FederatedClient(FLComponent):
     # ------------------------------------------------------------------
     def process_task(self, task_name: str, shareable: Shareable) -> Shareable:
         """Execute one task against the learner, applying filter chains."""
+        round_number = shareable.get_header(ReservedKey.ROUND_NUMBER, 0)
+        with obs_trace.span("client_task", client=self.name, task=task_name,
+                            round=round_number) as task_span:
+            reply = self._process_task_inner(task_name, shareable)
+            task_span.set_attr("return_code", reply.return_code)
+        return reply
+
+    def _process_task_inner(self, task_name: str, shareable: Shareable) -> Shareable:
         self.fl_ctx.set_prop(ReservedKey.CURRENT_ROUND,
                              shareable.get_header(ReservedKey.ROUND_NUMBER, 0))
         try:
@@ -151,12 +160,13 @@ class FederatedClient(FLComponent):
             raise RuntimeError(f"{self.name} must register before serving")
 
         def loop() -> None:
-            while not self._stopping.is_set():
-                try:
-                    if not self.poll_once(timeout=1.0):
-                        return
-                except TransportError:
-                    continue  # idle timeout; check the stop flag again
+            with obs_trace.span("client_thread", client=self.name):
+                while not self._stopping.is_set():
+                    try:
+                        if not self.poll_once(timeout=1.0):
+                            return
+                    except TransportError:
+                        continue  # idle timeout; check the stop flag again
 
         self._thread = threading.Thread(target=loop, name=f"client-{self.name}", daemon=True)
         self._thread.start()

@@ -47,6 +47,7 @@ class ReservedKey:
     TASK_NAME = "__task_name__"
     MSG_ID = "__msg_id__"
     ATTEMPT = "__attempt__"
+    SEND_TS = "__send_ts__"
     ROUND_NUMBER = "__round_number__"
     TOTAL_ROUNDS = "__total_rounds__"
     RETURN_CODE = "__return_code__"

@@ -13,6 +13,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .aggregators import Aggregator
 from .constants import EventType, ReservedKey, ReturnCode, TaskName
 from .dxo import MetaKey
@@ -107,11 +109,17 @@ class ScatterAndGather(FLComponent):
         fl_ctx = self.server.fl_ctx
         self.fire_event(EventType.START_RUN, fl_ctx)
         for round_number in range(self.num_rounds):
-            self._run_round(round_number, fl_ctx)
+            with obs_trace.span("round", round=round_number) as round_span:
+                self._run_round(round_number, fl_ctx)
+                last = self.stats.rounds[-1] if self.stats.rounds else None
+                if last is not None and last.round_number == round_number:
+                    round_span.set_attr("quorum_met", last.quorum_met)
+                    round_span.set_attr("n_clients", len(last.client_records))
         self.fire_event(EventType.END_RUN, fl_ctx)
         self.stats.messages_delivered = self.server.bus.delivered_count
         self.stats.bytes_delivered = self.server.bus.delivered_bytes
         self.stats.retries = self.server.bus.retry_count
+        self.stats.duplicates_dropped = self.server.bus.duplicates_dropped
         return self.stats
 
     # ------------------------------------------------------------------
@@ -170,13 +178,17 @@ class ScatterAndGather(FLComponent):
             ))
         record.dropped_clients = sorted(set(participants) - contributors)
         if record.dropped_clients:
+            obs_metrics.counter("federation.dropped_clients").inc(len(record.dropped_clients))
             self.log_warning("round %d: dropped site(s): %s", round_number,
                              ", ".join(record.dropped_clients))
 
+        obs_metrics.counter("federation.rounds").inc()
         if accepted < self.min_clients:
+            obs_metrics.counter("federation.under_quorum_rounds").inc()
             self._under_quorum_streak += 1
             record.quorum_met = False
             record.seconds = time.perf_counter() - round_started
+            obs_metrics.histogram("federation.round_seconds").observe(record.seconds)
             self.stats.add_round(record)
             if self._under_quorum_streak > self.max_failed_rounds:
                 raise RuntimeError(
@@ -192,7 +204,11 @@ class ScatterAndGather(FLComponent):
         self._under_quorum_streak = 0
 
         self.fire_event(EventType.BEFORE_AGGREGATION, fl_ctx)
-        aggregated = self.aggregator.aggregate(fl_ctx)
+        with obs_trace.span("aggregate", round=round_number):
+            aggregation_started = time.perf_counter()
+            aggregated = self.aggregator.aggregate(fl_ctx)
+            obs_metrics.histogram("federation.aggregation_seconds").observe(
+                time.perf_counter() - aggregation_started)
         self.log_info("End aggregation.")
         self.global_weights = self.shareable_generator.dxo_to_learnable(
             aggregated, self.global_weights)
@@ -204,6 +220,7 @@ class ScatterAndGather(FLComponent):
             self.persistor.save(self.global_weights, fl_ctx,
                                 metric=record.global_metrics.get("valid_acc"))
         record.seconds = time.perf_counter() - round_started
+        obs_metrics.histogram("federation.round_seconds").observe(record.seconds)
         self.stats.add_round(record)
         self.log_info("Round %d finished.", round_number)
         self.fire_event(EventType.ROUND_DONE, fl_ctx)

@@ -92,11 +92,31 @@ class FaultyMessageBus(MessageBus):
     def __init__(self, plan: FaultPlan) -> None:
         super().__init__()
         self.plan = plan
-        self.injected_drops = 0
-        self.injected_crash_drops = 0
-        self.injected_duplicates = 0
-        self.injected_corruptions = 0
-        self.injected_delays = 0
+        # Injections are tagged counters in the bus registry, so a telemetry
+        # session exports them alongside delivery totals; the ``injected_*``
+        # properties keep the original int-attribute API for chaos tests.
+        self._faults = {kind: self.metrics.counter("transport.faults", kind=kind)
+                        for kind in ("drop", "crash", "duplicate", "corrupt", "delay")}
+
+    @property
+    def injected_drops(self) -> int:
+        return int(self._faults["drop"].value)
+
+    @property
+    def injected_crash_drops(self) -> int:
+        return int(self._faults["crash"].value)
+
+    @property
+    def injected_duplicates(self) -> int:
+        return int(self._faults["duplicate"].value)
+
+    @property
+    def injected_corruptions(self) -> int:
+        return int(self._faults["corrupt"].value)
+
+    @property
+    def injected_delays(self) -> int:
+        return int(self._faults["delay"].value)
 
     def fault_counts(self) -> dict[str, int]:
         """JSON-safe summary of everything injected so far."""
@@ -116,15 +136,13 @@ class FaultyMessageBus(MessageBus):
 
         for endpoint in (message.sender, message.recipient):
             if endpoint in plan.crashed_clients:
-                with self._lock:
-                    self.injected_crash_drops += 1
+                self._faults["crash"].inc()
                 raise TransportError(
                     f"injected crash: site {endpoint!r} is down "
                     f"(message {message.topic!r} lost)")
 
         if plan.drop_prob and plan.unit("drop", decision_key) < plan.drop_prob:
-            with self._lock:
-                self.injected_drops += 1
+            self._faults["drop"].inc()
             raise TransportError(
                 f"injected drop of {message.topic!r} from {message.sender!r} "
                 f"to {message.recipient!r}")
@@ -133,13 +151,11 @@ class FaultyMessageBus(MessageBus):
         if plan.delay_prob and plan.unit("delay", decision_key) < plan.delay_prob:
             delay += plan.max_delay * plan.unit("delay-amount", decision_key)
         if delay > 0:
-            with self._lock:
-                self.injected_delays += 1
+            self._faults["delay"].inc()
             time.sleep(delay)
 
         if plan.corrupt_prob and plan.unit("corrupt", decision_key) < plan.corrupt_prob:
-            with self._lock:
-                self.injected_corruptions += 1
+            self._faults["corrupt"].inc()
             if message.body:
                 flip_at = len(message.body) // 2
                 message.body = (message.body[:flip_at]
@@ -151,6 +167,5 @@ class FaultyMessageBus(MessageBus):
         super()._enqueue(message)
 
         if plan.duplicate_prob and plan.unit("duplicate", decision_key) < plan.duplicate_prob:
-            with self._lock:
-                self.injected_duplicates += 1
+            self._faults["duplicate"].inc()
             super()._enqueue(message)

@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.session import TelemetrySession
 from .client import FederatedClient
 from .controller import ScatterAndGather
 from .events import LogCapture
@@ -52,7 +53,8 @@ class SimulatorRunner:
                  run_dir: str | Path | None = None, threads: bool = True,
                  capture_log: bool = True, key_bits: int = 512,
                  max_parallel: int = 2,
-                 fault_plan: FaultPlan | None = None) -> None:
+                 fault_plan: FaultPlan | None = None,
+                 telemetry: bool = False) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
@@ -65,6 +67,10 @@ class SimulatorRunner:
         self.key_bits = key_bits
         # Optional chaos scenario: run the whole job over a lossy bus.
         self.fault_plan = fault_plan
+        # When on, the run is wrapped in a TelemetrySession writing
+        # metrics.json / trace.jsonl / profile.json under run_dir (pointers
+        # land in stats.telemetry).
+        self.telemetry = telemetry
         # NVFlare's simulator multiplexes N clients over T threads; here all
         # clients have their own thread but at most ``max_parallel`` execute
         # a task at once, bounding peak training memory.
@@ -76,14 +82,19 @@ class SimulatorRunner:
     def run(self) -> SimulationResult:
         """Provision, register, train, tear down."""
         capture = LogCapture().attach() if self.capture_log else None
+        session = (TelemetrySession(self.run_dir).start()
+                   if self.telemetry else None)
         try:
-            return self._run_inner(capture)
+            return self._run_inner(capture, session)
         finally:
+            if session is not None:
+                session.stop()
             if capture is not None:
                 capture.detach()
 
     # ------------------------------------------------------------------
-    def _run_inner(self, capture: LogCapture | None) -> SimulationResult:
+    def _run_inner(self, capture: LogCapture | None,
+                   session: TelemetrySession | None = None) -> SimulationResult:
         project = default_project(n_clients=self.n_clients, name=self.job.name)
         provisioner = Provisioner(project, seed=self.seed, key_bits=self.key_bits)
         kits = provisioner.provision()
@@ -149,6 +160,13 @@ class SimulatorRunner:
                     raise stop_error
 
         final_weights = controller.global_weights
+        if session is not None:
+            # Fold the bus's always-on registry (delivery totals, per-topic
+            # latency, injected faults) into the run's metrics.json and point
+            # the stats at the artifacts the session will write on stop().
+            if session.registry is not None:
+                session.registry.merge(bus.metrics)
+            stats.telemetry = session.artifact_paths()
         try:
             best_weights = persistor.load_best()
         except FileNotFoundError:

@@ -53,6 +53,11 @@ class RunStats:
     # Resend attempts made by all participants (server broadcasts + client
     # result submissions) over the whole run.
     retries: int = 0
+    # Receives skipped by message-id dedup (resends and replayed duplicates).
+    duplicates_dropped: int = 0
+    # Paths of the telemetry artifacts a TelemetrySession wrote for this run
+    # (keys "metrics"/"trace"/"profile"), empty when telemetry was off.
+    telemetry: dict[str, str] = field(default_factory=dict)
 
     def add_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
@@ -72,21 +77,34 @@ class RunStats:
         """Rounds that finished under quorum (aggregation skipped)."""
         return sum(1 for record in self.rounds if not record.quorum_met)
 
+    def _metric_history(self, key: str) -> list[float]:
+        """Per-round values of ``key``; KeyError (naming the recorded keys)
+        when no round ever reported it."""
+        history = [r.global_metrics[key] for r in self.rounds
+                   if key in r.global_metrics]
+        if not history:
+            available = sorted({k for r in self.rounds for k in r.global_metrics})
+            raise KeyError(f"no global metric {key!r} recorded "
+                           f"(available: {available or 'none'})")
+        return history
+
     def global_metric_history(self, key: str) -> list[float]:
         """The per-round trajectory of a server-side metric."""
-        return [r.global_metrics[key] for r in self.rounds if key in r.global_metrics]
+        return self._metric_history(key)
 
-    def best_global_metric(self, key: str) -> float:
-        history = self.global_metric_history(key)
-        if not history:
-            raise KeyError(f"no global metric {key!r} recorded")
-        return max(history)
+    def best_global_metric(self, key: str, mode: str = "max") -> float:
+        """The best value of ``key`` across rounds.
+
+        ``mode`` says which direction is better: ``"max"`` for scores like
+        accuracy/AUC, ``"min"`` for losses and perplexities.
+        """
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        history = self._metric_history(key)
+        return max(history) if mode == "max" else min(history)
 
     def final_global_metric(self, key: str) -> float:
-        history = self.global_metric_history(key)
-        if not history:
-            raise KeyError(f"no global metric {key!r} recorded")
-        return history[-1]
+        return self._metric_history(key)[-1]
 
     def mean_seconds_per_local_epoch(self) -> float:
         """Average wall-clock per client local-train call (cf. "12.7 sec")."""
@@ -101,14 +119,18 @@ class RunStats:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe dump of everything measured."""
-        return {
+        payload = {
             "messages_delivered": self.messages_delivered,
             "bytes_delivered": self.bytes_delivered,
             "retries": self.retries,
+            "duplicates_dropped": self.duplicates_dropped,
             "dropped_clients": self.dropped_clients,
             "failed_rounds": self.failed_rounds,
             "rounds": [asdict(record) for record in self.rounds],
         }
+        if self.telemetry:
+            payload["telemetry"] = dict(self.telemetry)
+        return payload
 
     def save_json(self, path: str | Path) -> Path:
         """Write the stats to ``path`` as pretty-printed JSON."""
@@ -121,7 +143,9 @@ class RunStats:
     def from_dict(cls, payload: dict) -> "RunStats":
         stats = cls(messages_delivered=payload.get("messages_delivered", 0),
                     bytes_delivered=payload.get("bytes_delivered", 0),
-                    retries=payload.get("retries", 0))
+                    retries=payload.get("retries", 0),
+                    duplicates_dropped=payload.get("duplicates_dropped", 0),
+                    telemetry=dict(payload.get("telemetry", {})))
         for round_payload in payload.get("rounds", []):
             clients = [ClientRoundRecord(**c)
                        for c in round_payload.get("client_records", [])]

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.metrics import MetricsRegistry
 from .constants import ReservedKey
 from .security import hmac_sign, hmac_verify
 from .shareable import Shareable
@@ -110,6 +111,7 @@ def send_with_retry(bus: "MessageBus", sender: str, recipient: str, topic: str,
             return attempt + 1
         except TransportError as error:
             last_error = error
+            bus.metrics.counter("transport.send_failures", topic=topic).inc()
             if attempt + 1 < policy.max_attempts:
                 time.sleep(policy.delay_for(attempt))
     raise TransportError(
@@ -154,10 +156,36 @@ class MessageBus:
         self._lock = threading.Lock()
         self._send_seq: dict[str, int] = {}
         self._seen_ids: dict[str, OrderedDict] = {}
-        self.delivered_count = 0
-        self.delivered_bytes = 0
-        self.retry_count = 0          # sends carrying attempt > 0
-        self.duplicates_dropped = 0   # receives skipped by id dedup
+        # Every bus owns an always-enabled registry: delivery totals must be
+        # available (RunStats copies them) whether or not a telemetry
+        # session is active.  A session merges this registry into the run's
+        # metrics.json at export time.
+        self.metrics = MetricsRegistry()
+        self._messages_delivered = self.metrics.counter("transport.messages_delivered")
+        self._bytes_delivered = self.metrics.counter("transport.bytes_delivered")
+        self._retries = self.metrics.counter("transport.retries")
+        self._duplicates_dropped = self.metrics.counter("transport.duplicates_dropped")
+
+    # ------------------------------------------------------------------
+    # registry-backed totals (the former one-off int attributes)
+    # ------------------------------------------------------------------
+    @property
+    def delivered_count(self) -> int:
+        return int(self._messages_delivered.value)
+
+    @property
+    def delivered_bytes(self) -> int:
+        return int(self._bytes_delivered.value)
+
+    @property
+    def retry_count(self) -> int:
+        """Sends carrying attempt > 0."""
+        return int(self._retries.value)
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """Receives skipped by message-id dedup."""
+        return int(self._duplicates_dropped.value)
 
     # ------------------------------------------------------------------
     def register_endpoint(self, name: str) -> None:
@@ -200,11 +228,11 @@ class MessageBus:
         message = Message(sender=sender, recipient=recipient, topic=topic, body=body,
                           headers={ReservedKey.CLIENT_NAME: sender,
                                    ReservedKey.MSG_ID: msg_id,
-                                   ReservedKey.ATTEMPT: attempt})
+                                   ReservedKey.ATTEMPT: attempt,
+                                   ReservedKey.SEND_TS: time.monotonic()})
         message.signature = hmac_sign(message.signed_payload(), key)
         if attempt > 0:
-            with self._lock:
-                self.retry_count += 1
+            self._retries.inc()
         self._enqueue(message)
 
     def _enqueue(self, message: Message) -> None:
@@ -213,8 +241,10 @@ class MessageBus:
             if message.recipient not in self._queues:
                 raise TransportError(f"unknown recipient {message.recipient!r}")
             self._queues[message.recipient].put(message)
-            self.delivered_count += 1
-            self.delivered_bytes += len(message.body)
+        self._messages_delivered.inc()
+        self._bytes_delivered.inc(len(message.body))
+        self.metrics.counter("transport.messages", topic=message.topic).inc()
+        self.metrics.counter("transport.bytes", topic=message.topic).inc(len(message.body))
 
     def receive(self, name: str, timeout: float | None = 10.0) -> tuple[str, str, Shareable]:
         """Dequeue, verify signature, deduplicate, deserialize.
@@ -243,9 +273,13 @@ class MessageBus:
                     f"from {message.sender!r}")
             msg_id = message.headers.get(ReservedKey.MSG_ID)
             if msg_id is not None and not self._mark_seen(name, msg_id):
-                with self._lock:
-                    self.duplicates_dropped += 1
+                self._duplicates_dropped.inc()
                 continue
+            send_ts = message.headers.get(ReservedKey.SEND_TS)
+            if isinstance(send_ts, (int, float)):
+                self.metrics.histogram("transport.latency_seconds",
+                                       topic=message.topic).observe(
+                    max(time.monotonic() - send_ts, 0.0))
             return message.sender, message.topic, _decode_shareable(message.body)
 
     def _mark_seen(self, name: str, msg_id: str) -> bool:

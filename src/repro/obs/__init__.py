@@ -1,0 +1,43 @@
+"""``repro.obs`` — federation-wide telemetry.
+
+The instrument panel every other subsystem reports into:
+
+- :mod:`repro.obs.metrics` — process-wide registry of counters, gauges and
+  fixed-bucket histograms (cheap no-ops while disabled).
+- :mod:`repro.obs.trace` — hierarchical trace spans
+  (``round -> client_task -> local_train -> step``) with wall + exclusive
+  time, exported as JSONL.
+- :mod:`repro.obs.profiler` — autograd op profiler hooking the fused
+  forward/backward kernels (per-op calls, seconds, bytes).
+- :mod:`repro.obs.session` — :class:`TelemetrySession`, the one switch that
+  arms all three and writes ``metrics.json`` / ``trace.jsonl`` /
+  ``profile.json`` under a run directory.
+- :mod:`repro.obs.report` — the run-report renderer behind
+  ``python -m repro.obs report <run_dir>``.
+
+See ``docs/OBSERVABILITY.md`` for the full API and artifact schemas.
+"""
+
+from . import metrics, trace
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from .profiler import OpProfiler, get_profiler
+from .report import render_report
+from .session import TelemetrySession
+from .trace import Span, Tracer, get_tracer, set_tracer, span
+
+__all__ = [
+    "metrics", "trace",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "get_registry", "set_registry",
+    "Tracer", "Span", "span", "get_tracer", "set_tracer",
+    "OpProfiler", "get_profiler",
+    "TelemetrySession", "render_report",
+]

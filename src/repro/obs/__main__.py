@@ -1,0 +1,10 @@
+"""Entry point: ``python -m repro.obs report <run_dir>``."""
+
+from __future__ import annotations
+
+import sys
+
+from .report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

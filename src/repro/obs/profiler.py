@@ -1,0 +1,210 @@
+"""Autograd op profiler: per-op counts, seconds and bytes from any run.
+
+Two hook points, both zero-cost when no profiler is installed:
+
+1. **Node hook** (``repro.autograd.tensor._PROFILE_HOOK``): every graph
+   node created by ``Tensor._make`` reports its op name and output-array
+   bytes, and its backward closure is wrapped so each backward invocation
+   is timed.  This covers *every* differentiable op — fused kernels and
+   primitive Tensor methods alike.
+2. **Forward wrappers**: the public fused ops in
+   :mod:`repro.autograd.functional` are rebound to timing wrappers while
+   the profiler is installed.  Model and training code resolves them at
+   call time (``F.attention_layer(...)``), so the swap takes effect
+   process-wide and is fully undone by :meth:`OpProfiler.uninstall`.
+
+Forward seconds are *inclusive* (a wrapper's time covers any primitive
+nodes the op builds internally); backward seconds are per-closure and
+therefore exclusive.  ``bytes`` counts the output buffers registered on
+the graph — the number that tracks activation-memory pressure.
+
+The profile is what makes ``docs/PERFORMANCE.md`` reproducible: a
+telemetry-enabled run writes ``profile.json`` and
+``python -m repro.obs report <run_dir>`` renders the same per-op table the
+microbenchmarks produce, from real training traffic.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+from ..autograd import functional as _functional
+from ..autograd.tensor import Tensor as _Tensor
+
+# ``repro.autograd`` re-exports a ``tensor()`` constructor that shadows the
+# submodule, so resolve the module object through the class instead.
+_tensor_mod = sys.modules[_Tensor.__module__]
+
+__all__ = ["OpProfiler", "get_profiler"]
+
+
+class _OpRecord:
+    __slots__ = ("nodes", "bytes", "fwd_calls", "fwd_seconds",
+                 "bwd_calls", "bwd_seconds")
+
+    def __init__(self) -> None:
+        self.nodes = 0
+        self.bytes = 0
+        self.fwd_calls = 0
+        self.fwd_seconds = 0.0
+        self.bwd_calls = 0
+        self.bwd_seconds = 0.0
+
+    def to_dict(self) -> dict:
+        return {"nodes": self.nodes, "bytes": self.bytes,
+                "fwd_calls": self.fwd_calls,
+                "fwd_seconds": round(self.fwd_seconds, 6),
+                "bwd_calls": self.bwd_calls,
+                "bwd_seconds": round(self.bwd_seconds, 6)}
+
+
+class OpProfiler:
+    """Collects per-op statistics while installed.
+
+    Use as a context manager, or pair :meth:`install`/:meth:`uninstall`.
+    Only one profiler can be installed at a time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._thread_ops: list[dict[str, _OpRecord]] = []
+        self._local = threading.local()
+        self._installed = False
+        self._saved_functional: dict[str, object] = {}
+
+    def _ops_for_thread(self) -> dict[str, _OpRecord]:
+        # Lock-free hot path: each thread owns its record dict and mutates
+        # it without synchronisation (autograd graphs are built and walked
+        # on the thread that created them).  The lock only guards the list
+        # of per-thread dicts, taken once per thread, and snapshots.
+        ops = getattr(self._local, "ops", None)
+        if ops is None:
+            ops = self._local.ops = {}
+            with self._lock:
+                self._thread_ops.append(ops)
+        return ops
+
+    # ------------------------------------------------------------------
+    # node hook (called from Tensor._make on every graph node)
+    # ------------------------------------------------------------------
+    def record_node(self, op: str, nbytes: int, backward):
+        ops = self._ops_for_thread()
+        record = ops.get(op)
+        if record is None:
+            record = ops[op] = _OpRecord()
+        record.nodes += 1
+        record.bytes += nbytes
+        perf_counter = time.perf_counter
+
+        def timed_backward(grad) -> None:
+            started = perf_counter()
+            backward(grad)
+            elapsed = perf_counter() - started
+            record.bwd_calls += 1
+            record.bwd_seconds += elapsed
+
+        return timed_backward
+
+    def _record_forward(self, op: str, elapsed: float) -> None:
+        ops = self._ops_for_thread()
+        record = ops.get(op)
+        if record is None:
+            record = ops[op] = _OpRecord()
+        record.fwd_calls += 1
+        record.fwd_seconds += elapsed
+
+    # ------------------------------------------------------------------
+    # install / uninstall
+    # ------------------------------------------------------------------
+    def install(self) -> "OpProfiler":
+        if self._installed:
+            return self
+        if _tensor_mod._PROFILE_HOOK is not None:
+            raise RuntimeError("another OpProfiler is already installed")
+        _tensor_mod._PROFILE_HOOK = self
+        for name in _functional.__all__:
+            original = getattr(_functional, name, None)
+            if not callable(original) or getattr(original, "__module__", "") != _functional.__name__:
+                continue
+            self._saved_functional[name] = original
+            setattr(_functional, name, self._make_forward_wrapper(name, original))
+        self._installed = True
+        return self
+
+    def _make_forward_wrapper(self, name: str, original):
+        @functools.wraps(original)
+        def wrapper(*args, **kwargs):
+            started = time.perf_counter()
+            result = original(*args, **kwargs)
+            self._record_forward(name, time.perf_counter() - started)
+            return result
+
+        return wrapper
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        if _tensor_mod._PROFILE_HOOK is self:
+            _tensor_mod._PROFILE_HOOK = None
+        for name, original in self._saved_functional.items():
+            setattr(_functional, name, original)
+        self._saved_functional.clear()
+        self._installed = False
+
+    def __enter__(self) -> "OpProfiler":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.uninstall()
+        return False
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def _merged(self) -> dict[str, _OpRecord]:
+        with self._lock:
+            per_thread = list(self._thread_ops)
+        merged: dict[str, _OpRecord] = {}
+        for ops in per_thread:
+            for name, record in list(ops.items()):
+                into = merged.get(name)
+                if into is None:
+                    into = merged[name] = _OpRecord()
+                into.nodes += record.nodes
+                into.bytes += record.bytes
+                into.fwd_calls += record.fwd_calls
+                into.fwd_seconds += record.fwd_seconds
+                into.bwd_calls += record.bwd_calls
+                into.bwd_seconds += record.bwd_seconds
+        return merged
+
+    @property
+    def ops(self) -> dict[str, _OpRecord]:
+        return self._merged()
+
+    def total_seconds(self) -> float:
+        return sum(r.fwd_seconds + r.bwd_seconds
+                   for r in self._merged().values())
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot: the ``profile.json`` schema."""
+        ops = {name: record.to_dict()
+               for name, record in self._merged().items()}
+        return {"schema": "repro.obs.profile/v1", "ops": ops}
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+
+def get_profiler() -> OpProfiler | None:
+    """The currently-installed profiler, or None."""
+    hook = _tensor_mod._PROFILE_HOOK
+    return hook if isinstance(hook, OpProfiler) else None

@@ -1,0 +1,249 @@
+"""Run-report renderer: ``python -m repro.obs report <run_dir>``.
+
+Reads the three artifacts a :class:`~repro.obs.session.TelemetrySession`
+writes (``metrics.json``, ``trace.jsonl``, ``profile.json``) and renders a
+plain-text report: counters/gauges, latency histograms with percentiles, a
+span tree aggregated by call path (flamegraph-style, widest first) and the
+per-autograd-op profile table.  Missing artifacts are skipped with a note,
+so the report works on partial telemetry (e.g. metrics-only runs) and on
+``BENCH_*.json`` files that embed the metrics schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .session import METRICS_FILE, PROFILE_FILE, TRACE_FILE
+
+__all__ = ["render_report", "render_metrics", "render_trace",
+           "render_profile", "main"]
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}GiB"
+
+
+def _fmt_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:.4g}"
+
+
+def _tag_suffix(tags: dict) -> str:
+    if not tags:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    return "{" + inner + "}"
+
+
+def _table(rows: list[list[str]], header: list[str]) -> list[str]:
+    """Left-align the first column, right-align the rest."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render(row: list[str]) -> str:
+        cells = [row[0].ljust(widths[0])]
+        cells += [cell.rjust(widths[i]) for i, cell in enumerate(row) if i > 0]
+        return "  " + "  ".join(cells).rstrip()
+
+    lines = [render(header), "  " + "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines += [render(row) for row in rows]
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+def render_metrics(payload: dict) -> str:
+    """Render a ``repro.obs.metrics/v1`` payload as text."""
+    lines: list[str] = ["== metrics =="]
+    counters = payload.get("counters", [])
+    gauges = payload.get("gauges", [])
+    histograms = payload.get("histograms", [])
+    if counters:
+        rows = [[c["name"] + _tag_suffix(c.get("tags", {})), _fmt_value(c["value"])]
+                for c in counters]
+        lines += ["", "counters:"] + _table(rows, ["name", "value"])
+    if gauges:
+        rows = [[g["name"] + _tag_suffix(g.get("tags", {})), _fmt_value(g["value"])]
+                for g in gauges]
+        lines += ["", "gauges:"] + _table(rows, ["name", "value"])
+    if histograms:
+        rows = [[h["name"] + _tag_suffix(h.get("tags", {})), str(h["count"]),
+                 _fmt_seconds(h.get("mean", 0.0)), _fmt_seconds(h.get("p50", 0.0)),
+                 _fmt_seconds(h.get("p90", 0.0)), _fmt_seconds(h.get("p99", 0.0)),
+                 _fmt_seconds(h.get("max", 0.0))]
+                for h in histograms]
+        lines += ["", "histograms:"] + _table(
+            rows, ["name", "count", "mean", "p50", "p90", "p99", "max"])
+    if not (counters or gauges or histograms):
+        lines.append("(no instruments recorded)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+def _span_paths(spans: list[dict]) -> dict[str, dict]:
+    """Aggregate spans by root-to-span name path ("round > client_task")."""
+    by_id = {s["span_id"]: s for s in spans}
+
+    def path_of(span: dict) -> str:
+        names = [span["name"]]
+        seen = {span["span_id"]}
+        parent = span.get("parent_id")
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            names.append(by_id[parent]["name"])
+            parent = by_id[parent].get("parent_id")
+        return " > ".join(reversed(names))
+
+    aggregated: dict[str, dict] = {}
+    for span in spans:
+        entry = aggregated.setdefault(
+            path_of(span), {"count": 0, "wall": 0.0, "excl": 0.0})
+        entry["count"] += 1
+        entry["wall"] += span.get("wall_s", 0.0)
+        entry["excl"] += span.get("excl_s", 0.0)
+    return aggregated
+
+
+def render_trace(spans: list[dict]) -> str:
+    """Render parsed trace spans as an aggregated call-path tree."""
+    lines = ["== trace =="]
+    if not spans:
+        return "\n".join(lines + ["(no spans recorded)"])
+    aggregated = _span_paths(spans)
+    # Depth-first over the path tree, siblings widest-wall first, so each
+    # path prints directly under its parent.
+    ordered: list[str] = []
+
+    def visit(prefix: str) -> None:
+        children = [p for p in aggregated
+                    if (p.rsplit(" > ", 1)[0] if " > " in p else "") == prefix]
+        for path in sorted(children, key=lambda p: -aggregated[p]["wall"]):
+            ordered.append(path)
+            visit(path)
+
+    visit("")
+    rows = []
+    for path in ordered:
+        entry = aggregated[path]
+        depth = path.count(" > ")
+        label = "  " * depth + path.rsplit(" > ", 1)[-1]
+        rows.append([label, str(entry["count"]), _fmt_seconds(entry["wall"]),
+                     _fmt_seconds(entry["excl"])])
+    lines += [f"{len(spans)} span(s), {len(aggregated)} distinct path(s)", ""]
+    lines += _table(rows, ["path", "count", "wall", "excl"])
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# profile
+# ---------------------------------------------------------------------------
+def render_profile(payload: dict) -> str:
+    """Render a ``repro.obs.profile/v1`` payload as a per-op table."""
+    lines = ["== autograd profile =="]
+    ops = payload.get("ops", {})
+    if not ops:
+        return "\n".join(lines + ["(no ops recorded)"])
+    total = sum(r.get("fwd_seconds", 0.0) + r.get("bwd_seconds", 0.0)
+                for r in ops.values())
+    rows = []
+    for name, record in sorted(
+            ops.items(),
+            key=lambda kv: -(kv[1].get("fwd_seconds", 0.0)
+                             + kv[1].get("bwd_seconds", 0.0))):
+        op_total = record.get("fwd_seconds", 0.0) + record.get("bwd_seconds", 0.0)
+        share = (op_total / total * 100.0) if total else 0.0
+        rows.append([name, str(record.get("nodes", 0)),
+                     _fmt_seconds(record.get("fwd_seconds", 0.0)),
+                     _fmt_seconds(record.get("bwd_seconds", 0.0)),
+                     f"{share:.1f}%", _fmt_bytes(record.get("bytes", 0))])
+    lines += [f"total op time {_fmt_seconds(total)}", ""]
+    lines += _table(rows, ["op", "nodes", "fwd", "bwd", "share", "bytes"])
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# whole-run report
+# ---------------------------------------------------------------------------
+def load_trace(path: Path) -> list[dict]:
+    """Parse a trace.jsonl file, skipping the schema header line."""
+    spans = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if "schema" in record and "span_id" not in record:
+            continue
+        spans.append(record)
+    return spans
+
+
+def render_report(run_dir: str | Path) -> str:
+    """The full text report for one telemetry-enabled run directory."""
+    run_dir = Path(run_dir)
+    if not run_dir.exists():
+        raise FileNotFoundError(f"run directory {run_dir} does not exist")
+    sections = [f"telemetry report: {run_dir}"]
+    found = 0
+
+    metrics_path = run_dir / METRICS_FILE
+    if metrics_path.exists():
+        sections.append(render_metrics(json.loads(metrics_path.read_text())))
+        found += 1
+    else:
+        sections.append(f"== metrics ==\n({metrics_path.name} not found)")
+
+    trace_path = run_dir / TRACE_FILE
+    if trace_path.exists():
+        sections.append(render_trace(load_trace(trace_path)))
+        found += 1
+    else:
+        sections.append(f"== trace ==\n({trace_path.name} not found)")
+
+    profile_path = run_dir / PROFILE_FILE
+    if profile_path.exists():
+        sections.append(render_profile(json.loads(profile_path.read_text())))
+        found += 1
+    else:
+        sections.append(f"== autograd profile ==\n({profile_path.name} not found)")
+
+    if found == 0:
+        raise FileNotFoundError(
+            f"no telemetry artifacts in {run_dir} (expected {METRICS_FILE}, "
+            f"{TRACE_FILE} or {PROFILE_FILE}; run with telemetry enabled)")
+    return "\n\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render telemetry artifacts written by a TelemetrySession.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser("report", help="render a run directory's telemetry")
+    report.add_argument("run_dir", help="directory holding metrics.json / "
+                                        "trace.jsonl / profile.json")
+    args = parser.parse_args(argv)
+    try:
+        print(render_report(args.run_dir))
+    except FileNotFoundError as error:
+        print(f"error: {error}")
+        return 1
+    return 0

@@ -1,0 +1,106 @@
+"""TelemetrySession: one switch that arms every instrument for a run.
+
+Entering a session installs an enabled :class:`MetricsRegistry` as the
+process-wide registry, a :class:`Tracer` as the process-wide tracer and an
+:class:`OpProfiler` over the autograd layer; leaving it restores whatever
+was installed before and writes three artifacts under the run directory::
+
+    <run_dir>/metrics.json   counters / gauges / histograms
+    <run_dir>/trace.jsonl    one span per line (header line first)
+    <run_dir>/profile.json   per-autograd-op counts, seconds, bytes
+
+Render them with ``python -m repro.obs report <run_dir>``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import metrics as _metrics
+from . import trace as _trace
+from .metrics import MetricsRegistry
+from .profiler import OpProfiler
+from .trace import Tracer
+
+__all__ = ["TelemetrySession"]
+
+METRICS_FILE = "metrics.json"
+TRACE_FILE = "trace.jsonl"
+PROFILE_FILE = "profile.json"
+
+
+class TelemetrySession:
+    """Scoped enable-everything telemetry for one run directory.
+
+    Parameters
+    ----------
+    run_dir:
+        Where the artifacts land on exit.
+    metrics, trace, profile:
+        Individually disable a subsystem (all on by default).  A disabled
+        subsystem writes no artifact and its pointer is absent from
+        :meth:`artifact_paths`.
+    """
+
+    def __init__(self, run_dir: str | Path, metrics: bool = True,
+                 trace: bool = True, profile: bool = True) -> None:
+        self.run_dir = Path(run_dir)
+        self.registry: MetricsRegistry | None = MetricsRegistry() if metrics else None
+        self.tracer: Tracer | None = Tracer() if trace else None
+        self.profiler: OpProfiler | None = OpProfiler() if profile else None
+        self._previous_registry: MetricsRegistry | None = None
+        self._previous_tracer: Tracer | None = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def artifact_paths(self) -> dict[str, str]:
+        """Run-dir artifact pointers (deterministic, also valid pre-write)."""
+        paths: dict[str, str] = {}
+        if self.registry is not None:
+            paths["metrics"] = str(self.run_dir / METRICS_FILE)
+        if self.tracer is not None:
+            paths["trace"] = str(self.run_dir / TRACE_FILE)
+        if self.profiler is not None:
+            paths["profile"] = str(self.run_dir / PROFILE_FILE)
+        return paths
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TelemetrySession":
+        if self._active:
+            return self
+        if self.registry is not None:
+            self._previous_registry = _metrics.set_registry(self.registry)
+        if self.tracer is not None:
+            self._previous_tracer = _trace.set_tracer(self.tracer)
+        if self.profiler is not None:
+            self.profiler.install()
+        self._active = True
+        return self
+
+    def stop(self) -> dict[str, str]:
+        """Restore previous instruments and write the artifacts."""
+        if not self._active:
+            return {}
+        if self.profiler is not None:
+            self.profiler.uninstall()
+        if self.tracer is not None:
+            _trace.set_tracer(self._previous_tracer)
+        if self.registry is not None and self._previous_registry is not None:
+            _metrics.set_registry(self._previous_registry)
+        self._active = False
+
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        if self.registry is not None:
+            self.registry.save_json(self.run_dir / METRICS_FILE)
+        if self.tracer is not None:
+            self.tracer.export_jsonl(self.run_dir / TRACE_FILE)
+        if self.profiler is not None:
+            self.profiler.save_json(self.run_dir / PROFILE_FILE)
+        return self.artifact_paths()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

@@ -1,0 +1,200 @@
+"""Hierarchical trace spans for federated runs.
+
+A *span* measures one timed region — a federated round, one client's task,
+a local training call, a single optimizer step — and remembers its parent,
+so a run unrolls into a tree::
+
+    span("round") -> span("client_task") -> span("local_train") -> span("step")
+
+Each span records wall-clock time and *exclusive* time (wall minus the wall
+of its direct children), which is what makes the flamegraph-style report
+useful: a round whose time is all exclusive is bottlenecked in aggregation
+or collection, not in client compute.
+
+Parent linkage is per-thread (a thread-local stack), matching how the
+simulator actually runs: the controller's round spans live on the main
+thread while each client's task spans live on that client's serve thread.
+Cross-thread correlation uses attributes instead (client task spans carry
+the ``round`` number), so trace rows stay joinable with
+``RunStats.rounds``.
+
+When no tracer is installed, :func:`span` returns a shared no-op context
+manager — the instrumentation costs one global read per call.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["Span", "Tracer", "span", "get_tracer", "set_tracer"]
+
+
+class Span:
+    """One timed region; use as a context manager via :func:`span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id", "thread",
+                 "t_start", "t_end", "child_seconds", "n_children")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = tracer._next_id()
+        self.parent_id: int | None = None
+        self.thread = threading.current_thread().name
+        self.t_start = 0.0
+        self.t_end = 0.0
+        self.child_seconds = 0.0
+        self.n_children = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def wall_seconds(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def exclusive_seconds(self) -> float:
+        return max(self.wall_seconds - self.child_seconds, 0.0)
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute after entry (e.g. a result computed inside)."""
+        self.attrs[key] = value
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            parent.n_children += 1
+        self.t_start = time.perf_counter() - self.tracer.origin
+        stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.t_end = time.perf_counter() - self.tracer.origin
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].child_seconds += self.wall_seconds
+        self.tracer._record(self)
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id, "parent_id": self.parent_id,
+            "name": self.name, "thread": self.thread,
+            "t_start": round(self.t_start, 6), "t_end": round(self.t_end, 6),
+            "wall_s": round(self.wall_seconds, 6),
+            "excl_s": round(self.exclusive_seconds, 6),
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Reusable no-op span handed out when tracing is off (stateless, so one
+    shared instance is safe under nesting and across threads)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans; exports one JSON object per line.
+
+    ``origin`` anchors all span times: ``t_start``/``t_end`` are seconds
+    since tracer creation, and ``started_unix`` in the export header maps
+    them back to wall-clock time.
+    """
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.started_unix = time.time()
+        self._lock = threading.Lock()
+        self._records: list[Span] = []
+        self._id = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> int:
+        with self._lock:
+            self._id += 1
+            return self._id
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, finished: Span) -> None:
+        with self._lock:
+            self._records.append(finished)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._records)
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write spans as JSONL, preceded by one ``trace_header`` line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            records = [s.to_dict() for s in self._records]
+        header = {"schema": "repro.obs.trace/v1",
+                  "started_unix": self.started_unix,
+                  "n_spans": len(records)}
+        with path.open("w") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for record in sorted(records, key=lambda r: r["t_start"]):
+                fh.write(json.dumps(record, default=str) + "\n")
+        return path
+
+
+# ---------------------------------------------------------------------------
+# process-wide tracer
+# ---------------------------------------------------------------------------
+_tracer: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed tracer, or None when tracing is off."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear, with None) the process-wide tracer."""
+    global _tracer
+    old = _tracer
+    _tracer = tracer
+    return old
+
+
+def span(name: str, **attrs):
+    """Open a span under the installed tracer (no-op when tracing is off)."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return Span(tracer, name, attrs)

@@ -13,6 +13,8 @@ import numpy as np
 
 from ..autograd import Adam, Module, clip_grad_norm, functional as F, no_grad
 from ..data import IGNORE_INDEX, ClassificationDataset, MlmCollator, SequenceDataset
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .metrics import EpochMetrics, MetricAverager, top1_accuracy
 
 __all__ = ["TrainConfig", "train_classifier", "evaluate_classifier",
@@ -69,21 +71,34 @@ def train_classifier(model: Module, dataset: ClassificationDataset,
     best_acc: float | None = None
     best_state = None
     stale_epochs = 0
+    step_hist = obs_metrics.histogram("train.step_seconds", objective="classifier")
+    token_counter = obs_metrics.counter("train.tokens", objective="classifier")
     for epoch in range(config.epochs):
         started = time.perf_counter()
         model.train()
         averager = MetricAverager()
-        for ids, mask, labels in dataset.iter_batches(config.batch_size,
-                                                      shuffle=True, rng=rng):
-            logits = model(ids, attention_mask=mask)
-            loss = F.cross_entropy(logits, labels,
-                                   class_weights=config.class_weights)
-            if regularizer is not None:
-                loss = loss + regularizer(model)
-            _step(model, optimizer, loss, config.max_grad_norm)
-            averager.update(loss.item(), weight=len(labels))
+        tokens = 0
+        with obs_trace.span("local_train", objective="classifier", epoch=epoch):
+            for ids, mask, labels in dataset.iter_batches(config.batch_size,
+                                                          shuffle=True, rng=rng):
+                step_started = time.perf_counter()
+                with obs_trace.span("step"):
+                    logits = model(ids, attention_mask=mask)
+                    loss = F.cross_entropy(logits, labels,
+                                           class_weights=config.class_weights)
+                    if regularizer is not None:
+                        loss = loss + regularizer(model)
+                    _step(model, optimizer, loss, config.max_grad_norm)
+                step_hist.observe(time.perf_counter() - step_started)
+                tokens += int(ids.size)
+                averager.update(loss.item(), weight=len(labels))
+        elapsed = time.perf_counter() - started
+        token_counter.inc(tokens)
+        if elapsed > 0:
+            obs_metrics.gauge("train.tokens_per_sec",
+                              objective="classifier").set(tokens / elapsed)
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
-                               seconds=time.perf_counter() - started)
+                               seconds=elapsed)
         if valid is not None and len(valid):
             metrics.valid_acc, metrics.valid_loss = evaluate_classifier(model, valid,
                                                                         config.batch_size)
@@ -125,23 +140,37 @@ def train_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
     optimizer = optimizer or Adam(model.parameters(), lr=config.lr)
     rng = np.random.default_rng(config.seed)
     history: list[EpochMetrics] = []
+    step_hist = obs_metrics.histogram("train.step_seconds", objective="mlm")
+    token_counter = obs_metrics.counter("train.tokens", objective="mlm")
     for epoch in range(config.epochs):
         started = time.perf_counter()
         model.train()
         averager = MetricAverager()
-        for ids, mask in dataset.iter_batches(config.batch_size, shuffle=True, rng=rng):
-            example = collator(ids, mask)
-            n_targets = int((example.labels != IGNORE_INDEX).sum())
-            if n_targets == 0:
-                continue  # tiny batch where masking selected nothing
-            logits = model(example.input_ids, attention_mask=example.attention_mask)
-            # fused cross_entropy flattens (batch, seq, vocab) internally
-            loss = F.cross_entropy(logits, example.labels.reshape(-1),
-                                   ignore_index=IGNORE_INDEX)
-            _step(model, optimizer, loss, config.max_grad_norm)
-            averager.update(loss.item(), weight=n_targets)
+        tokens = 0
+        with obs_trace.span("local_train", objective="mlm", epoch=epoch):
+            for ids, mask in dataset.iter_batches(config.batch_size, shuffle=True, rng=rng):
+                example = collator(ids, mask)
+                n_targets = int((example.labels != IGNORE_INDEX).sum())
+                if n_targets == 0:
+                    continue  # tiny batch where masking selected nothing
+                step_started = time.perf_counter()
+                with obs_trace.span("step"):
+                    logits = model(example.input_ids,
+                                   attention_mask=example.attention_mask)
+                    # fused cross_entropy flattens (batch, seq, vocab) internally
+                    loss = F.cross_entropy(logits, example.labels.reshape(-1),
+                                           ignore_index=IGNORE_INDEX)
+                    _step(model, optimizer, loss, config.max_grad_norm)
+                step_hist.observe(time.perf_counter() - step_started)
+                tokens += int(ids.size)
+                averager.update(loss.item(), weight=n_targets)
+        elapsed = time.perf_counter() - started
+        token_counter.inc(tokens)
+        if elapsed > 0:
+            obs_metrics.gauge("train.tokens_per_sec",
+                              objective="mlm").set(tokens / elapsed)
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
-                               seconds=time.perf_counter() - started)
+                               seconds=elapsed)
         if valid is not None and len(valid):
             metrics.valid_loss = evaluate_mlm(model, valid, collator, config.batch_size)
         history.append(metrics)

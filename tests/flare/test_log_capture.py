@@ -1,0 +1,64 @@
+"""LogCapture and set_console_level: capture survives console quieting."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.flare import LogCapture, set_console_level
+from repro.flare.events import FLComponent, get_fl_logger
+
+
+@pytest.fixture
+def console_level():
+    """Restore the console handler level the session fixture set."""
+    handler = next(h for h in get_fl_logger().handlers
+                   if h.get_name() == "fl-console")
+    level = handler.level
+    yield handler
+    handler.setLevel(level)
+
+
+class TestConsoleLevelInterplay:
+    def test_quiet_console_still_captured(self, console_level):
+        set_console_level(logging.ERROR)
+        capture = LogCapture().attach()
+        try:
+            FLComponent(name="probe").log_info("info while console is quiet")
+        finally:
+            capture.detach()
+        assert "info while console is quiet" in capture.text()
+
+    def test_set_console_level_only_touches_console(self, console_level):
+        capture = LogCapture().attach()
+        try:
+            set_console_level(logging.CRITICAL)
+            assert console_level.level == logging.CRITICAL
+            assert capture.level == logging.NOTSET  # untouched
+        finally:
+            capture.detach()
+
+    def test_capture_formats_like_fig3(self, console_level):
+        capture = LogCapture().attach()
+        try:
+            FLComponent(name="ScatterAndGather").log_info("Round %d started.", 0)
+        finally:
+            capture.detach()
+        (line,) = capture.lines
+        assert " - ScatterAndGather - INFO - Round 0 started." in line
+
+    def test_detach_stops_collection(self):
+        capture = LogCapture().attach()
+        capture.detach()
+        FLComponent(name="probe").log_info("after detach")
+        assert capture.text() == ""
+
+    def test_two_captures_see_the_same_lines(self):
+        first, second = LogCapture().attach(), LogCapture().attach()
+        try:
+            FLComponent(name="probe").log_info("fan-out")
+        finally:
+            first.detach()
+            second.detach()
+        assert first.lines[-1] == second.lines[-1]

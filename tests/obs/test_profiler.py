@@ -1,0 +1,109 @@
+"""OpProfiler: node counting, fwd/bwd timing, install/uninstall hygiene."""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, tensor
+from repro.obs.profiler import OpProfiler, get_profiler
+
+_tensor_mod = sys.modules[Tensor.__module__]
+
+
+@pytest.fixture
+def profiler():
+    profiler = OpProfiler()
+    profiler.install()
+    yield profiler
+    profiler.uninstall()
+
+
+def _train_step():
+    weight = tensor(np.random.default_rng(0).normal(size=(4, 3)),
+                    requires_grad=True)
+    x = tensor(np.ones((2, 4), dtype=np.float32))
+    out = F.gelu(x @ weight)
+    out.sum().backward()
+    return weight
+
+
+class TestNodeHook:
+    def test_counts_nodes_and_bytes(self, profiler):
+        _train_step()
+        ops = profiler.ops
+        assert ops["matmul"].nodes == 1
+        assert ops["gelu"].nodes == 1
+        assert ops["matmul"].bytes == 2 * 3 * 8  # (2,3) float64 output
+
+    def test_backward_timed_per_op(self, profiler):
+        _train_step()
+        ops = profiler.ops
+        assert ops["gelu"].bwd_calls == 1
+        assert ops["gelu"].bwd_seconds >= 0.0
+        assert ops["matmul"].bwd_calls == 1
+
+    def test_gradients_unchanged_by_profiling(self):
+        expected = _train_step().grad.copy()
+        with OpProfiler():
+            observed = _train_step().grad
+        np.testing.assert_allclose(observed, expected)
+
+
+class TestForwardWrappers:
+    def test_fused_forward_timed(self, profiler):
+        _train_step()
+        record = profiler.ops["gelu"]
+        assert record.fwd_calls == 1
+        assert record.fwd_seconds >= 0.0
+
+    def test_total_seconds(self, profiler):
+        _train_step()
+        assert profiler.total_seconds() >= 0.0
+
+
+class TestInstallUninstall:
+    def test_uninstall_restores_everything(self):
+        original_gelu = F.gelu
+        profiler = OpProfiler()
+        profiler.install()
+        assert _tensor_mod._PROFILE_HOOK is profiler
+        assert F.gelu is not original_gelu
+        profiler.uninstall()
+        assert _tensor_mod._PROFILE_HOOK is None
+        assert F.gelu is original_gelu
+
+    def test_second_install_rejected(self, profiler):
+        with pytest.raises(RuntimeError):
+            OpProfiler().install()
+
+    def test_install_idempotent_per_instance(self, profiler):
+        assert profiler.install() is profiler
+        profiler.uninstall()
+        profiler.uninstall()  # double uninstall is a no-op
+
+    def test_get_profiler(self, profiler):
+        assert get_profiler() is profiler
+
+    def test_get_profiler_none_when_off(self):
+        assert get_profiler() is None
+
+    def test_context_manager(self):
+        with OpProfiler() as profiler:
+            _train_step()
+        assert _tensor_mod._PROFILE_HOOK is None
+        assert profiler.ops["matmul"].nodes == 1
+
+
+class TestExport:
+    def test_schema_and_save(self, profiler, tmp_path):
+        _train_step()
+        payload = profiler.to_dict()
+        assert payload["schema"] == "repro.obs.profile/v1"
+        record = payload["ops"]["gelu"]
+        assert set(record) == {"nodes", "bytes", "fwd_calls", "fwd_seconds",
+                               "bwd_calls", "bwd_seconds"}
+        path = profiler.save_json(tmp_path / "profile.json")
+        assert path.exists()

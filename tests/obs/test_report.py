@@ -1,0 +1,112 @@
+"""The run-report CLI: rendering of metrics, trace trees and profiles."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import TelemetrySession, metrics, trace
+from repro.obs.report import (main, render_metrics, render_profile,
+                              render_report, render_trace)
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    """A real telemetry run directory with all three artifacts."""
+    with TelemetrySession(tmp_path):
+        metrics.counter("transport.messages", topic="train").inc(6)
+        metrics.histogram("train.step_seconds",
+                          objective="classifier").observe(0.02)
+        with trace.span("round", round=0):
+            with trace.span("aggregate"):
+                time.sleep(0.001)
+    return tmp_path
+
+
+class TestRenderMetrics:
+    def test_counters_gauges_histograms(self):
+        payload = {
+            "counters": [{"name": "c", "tags": {"topic": "train"}, "value": 6}],
+            "gauges": [{"name": "g", "tags": {}, "value": 1.5}],
+            "histograms": [{"name": "h", "tags": {}, "count": 3, "mean": 0.002,
+                            "p50": 0.002, "p90": 0.003, "p99": 0.003,
+                            "max": 0.003}],
+        }
+        text = render_metrics(payload)
+        assert "c{topic=train}" in text
+        assert "6" in text
+        assert "2.00ms" in text
+
+    def test_empty_payload(self):
+        assert "no instruments" in render_metrics({})
+
+
+class TestRenderTrace:
+    def test_children_indent_under_parent(self):
+        spans = [
+            {"span_id": 1, "parent_id": None, "name": "round",
+             "wall_s": 0.5, "excl_s": 0.1},
+            {"span_id": 2, "parent_id": 1, "name": "aggregate",
+             "wall_s": 0.4, "excl_s": 0.4},
+            {"span_id": 3, "parent_id": None, "name": "client_thread",
+             "wall_s": 0.9, "excl_s": 0.9},
+        ]
+        lines = render_trace(spans).splitlines()
+        round_at = next(i for i, l in enumerate(lines) if l.strip().startswith("round"))
+        assert lines[round_at + 1].startswith("    aggregate")
+        assert "3 span(s)" in render_trace(spans)
+
+    def test_empty(self):
+        assert "no spans" in render_trace([])
+
+
+class TestRenderProfile:
+    def test_sorted_by_total_time_with_share(self):
+        payload = {"ops": {
+            "gelu": {"nodes": 10, "bytes": 4096, "fwd_calls": 10,
+                     "fwd_seconds": 0.01, "bwd_calls": 10, "bwd_seconds": 0.01},
+            "matmul": {"nodes": 20, "bytes": 8192, "fwd_calls": 0,
+                       "fwd_seconds": 0.0, "bwd_calls": 20, "bwd_seconds": 0.06},
+        }}
+        text = render_profile(payload)
+        assert text.index("matmul") < text.index("gelu")  # widest first
+        assert "75.0%" in text
+        assert "4.0KiB" in text
+
+    def test_empty(self):
+        assert "no ops" in render_profile({})
+
+
+class TestRenderReport:
+    def test_renders_all_sections(self, run_dir):
+        text = render_report(run_dir)
+        assert "== metrics ==" in text
+        assert "transport.messages{topic=train}" in text
+        assert "== trace ==" in text
+        assert "aggregate" in text
+        assert "== autograd profile ==" in text
+
+    def test_partial_artifacts_noted(self, run_dir):
+        (run_dir / "trace.jsonl").unlink()
+        text = render_report(run_dir)
+        assert "trace.jsonl not found" in text
+        assert "== metrics ==" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            render_report(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            render_report(tmp_path)
+
+
+class TestMain:
+    def test_exit_zero_and_prints(self, run_dir, capsys):
+        assert main(["report", str(run_dir)]) == 0
+        assert "telemetry report" in capsys.readouterr().out
+
+    def test_exit_one_on_missing(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "error" in capsys.readouterr().out

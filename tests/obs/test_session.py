@@ -1,0 +1,59 @@
+"""TelemetrySession: arming, restoring, artifact writing, partial configs."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import TelemetrySession, metrics, trace
+from repro.obs.session import METRICS_FILE, PROFILE_FILE, TRACE_FILE
+
+
+class TestArming:
+    def test_installs_and_restores_instruments(self, tmp_path):
+        before_registry = metrics.get_registry()
+        before_tracer = trace.get_tracer()
+        with TelemetrySession(tmp_path) as session:
+            assert metrics.get_registry() is session.registry
+            assert trace.get_tracer() is session.tracer
+            assert metrics.get_registry().enabled
+        assert metrics.get_registry() is before_registry
+        assert trace.get_tracer() is before_tracer
+
+    def test_measurements_land_in_session_registry(self, tmp_path):
+        with TelemetrySession(tmp_path) as session:
+            metrics.counter("c").inc(3)
+            with trace.span("s"):
+                pass
+        assert session.registry.counter("c").value == 3
+        assert [s.name for s in session.tracer.spans] == ["s"]
+
+    def test_start_idempotent(self, tmp_path):
+        session = TelemetrySession(tmp_path)
+        assert session.start() is session.start()
+        session.stop()
+        assert session.stop() == {}  # second stop is a no-op
+
+
+class TestArtifacts:
+    def test_writes_all_three(self, tmp_path):
+        with TelemetrySession(tmp_path):
+            metrics.counter("c").inc()
+        for name in (METRICS_FILE, TRACE_FILE, PROFILE_FILE):
+            assert (tmp_path / name).exists()
+        payload = json.loads((tmp_path / METRICS_FILE).read_text())
+        assert payload["counters"][0]["name"] == "c"
+
+    def test_artifact_paths_deterministic_pre_write(self, tmp_path):
+        session = TelemetrySession(tmp_path)
+        expected = session.artifact_paths()
+        session.start()
+        assert session.stop() == expected
+        assert set(expected) == {"metrics", "trace", "profile"}
+
+    def test_disabled_subsystems_skipped(self, tmp_path):
+        with TelemetrySession(tmp_path, trace=False, profile=False) as session:
+            metrics.counter("c").inc()
+        assert set(session.artifact_paths()) == {"metrics"}
+        assert (tmp_path / METRICS_FILE).exists()
+        assert not (tmp_path / TRACE_FILE).exists()
+        assert not (tmp_path / PROFILE_FILE).exists()

@@ -1,0 +1,95 @@
+"""Trace spans: nesting, exclusive time, threads, export, null path."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import Tracer, span
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    previous = trace.set_tracer(tracer)
+    yield tracer
+    trace.set_tracer(previous)
+
+
+class TestNullPath:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert trace.get_tracer() is None
+        with span("anything", round=3) as s:
+            s.set_attr("late", 1)
+        assert span("a") is span("b")
+
+
+class TestNesting:
+    def test_parent_child_linkage(self, tracer):
+        with span("round", round=0) as parent:
+            with span("client_task") as child:
+                pass
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        assert parent.n_children == 1
+
+    def test_exclusive_excludes_children(self, tracer):
+        with span("outer"):
+            with span("inner"):
+                time.sleep(0.02)
+        outer = next(s for s in tracer.spans if s.name == "outer")
+        inner = next(s for s in tracer.spans if s.name == "inner")
+        assert inner.wall_seconds >= 0.02
+        assert outer.exclusive_seconds <= outer.wall_seconds - inner.wall_seconds + 1e-6
+
+    def test_attrs_and_set_attr(self, tracer):
+        with span("s", client="site-1") as s:
+            s.set_attr("n_updates", 8)
+        assert tracer.spans[0].attrs == {"client": "site-1", "n_updates": 8}
+
+    def test_error_recorded_and_reraised(self, tracer):
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].attrs["error"] == "RuntimeError"
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self, tracer):
+        def worker():
+            with span("client_thread", client="site-1"):
+                with span("client_task"):
+                    pass
+
+        with span("round", round=0):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {s.name: s for s in tracer.spans}
+        # The worker's root span must NOT be parented under the main thread's
+        # round span; correlation across threads goes through attrs.
+        assert by_name["client_thread"].parent_id is None
+        assert by_name["client_task"].parent_id == by_name["client_thread"].span_id
+        assert by_name["round"].n_children == 0
+
+
+class TestExport:
+    def test_jsonl_header_and_sorted_spans(self, tracer, tmp_path):
+        with span("a"):
+            with span("b"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["schema"] == "repro.obs.trace/v1"
+        assert lines[0]["n_spans"] == 2
+        spans = lines[1:]
+        assert [s["name"] for s in spans] == ["a", "b"]  # sorted by t_start
+        for record in spans:
+            assert set(record) == {"span_id", "parent_id", "name", "thread",
+                                   "t_start", "t_end", "wall_s", "excl_s",
+                                   "attrs"}
+            assert record["wall_s"] >= record["excl_s"] >= 0
