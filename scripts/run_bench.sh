@@ -7,14 +7,15 @@
 # absolute step times drift by tens of percent between time windows, so only
 # back-to-back pairs produce trustworthy ratios; the report keeps every round
 # and summarises min- and median-based speedups.  The fused-vs-reference op
-# microbenchmark runs once on the candidate side.
+# microbenchmark and the wire benchmark (codec throughput + federated
+# bytes-per-round per compression setting) run once on the candidate side.
 #
 # Usage:
 #   scripts/run_bench.sh
 #
 # Environment:
 #   BENCH_PR      PR number being benchmarked; names the output file and picks
-#                 the default baseline ("PR <N-1>:" commit) (default: 2)
+#                 the default baseline ("PR <N-1>:" commit) (default: 4)
 #   BASELINE_REF  git rev to benchmark against (default: the "PR <N-1>:" commit)
 #   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
 #   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-2}"
+BENCH_PR="${BENCH_PR:-4}"
 BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep="^PR $((BENCH_PR - 1)):" -n 1)}"
 if [ -z "$BASELINE_REF" ]; then
     echo "error: could not resolve baseline rev; set BASELINE_REF" >&2
@@ -59,6 +60,10 @@ echo "op microbench (fused vs reference)" >&2
 PYTHONPATH="src" python -m pytest benchmarks/test_fused_ops_microbench.py \
     -q --benchmark-json="$WORK/micro.json" >/dev/null
 
+echo "wire bench (codec throughput + federated bytes/round)" >&2
+PYTHONPATH="src" python -m pytest benchmarks/test_wire_bench.py \
+    -q --benchmark-json="$WORK/wire.json" >/dev/null
+
 PYTHONPATH="src" python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" "$BENCH_PR" <<'EOF'
 import json
 import statistics
@@ -77,7 +82,8 @@ def load(path):
     stats = {}
     for bench in data["benchmarks"]:
         stats[bench["name"]] = {"min": bench["stats"]["min"],
-                                "median": bench["stats"]["median"]}
+                                "median": bench["stats"]["median"],
+                                "extra": bench.get("extra_info", {})}
     return stats
 
 
@@ -118,6 +124,39 @@ for op, pair in micro_out.items():
     if "fused_us" in pair and "reference_us" in pair:
         pair["speedup"] = round(pair["reference_us"] / pair["fused_us"], 2)
 
+# Wire benchmark: raw-vs-npz codec throughput and federated bytes/round per
+# compression setting (candidate side only — the baseline has no codec).
+wire = load(f"{work}/wire.json")
+codec_out, federation_out = {}, {}
+for name, stat in wire.items():
+    if name.startswith("test_codec_"):
+        direction = "encode" if "encode" in name else "decode"
+        model, codec = name.rsplit("[", 1)[1].rstrip("]").rsplit("-", 1)
+        entry = codec_out.setdefault(model, {}).setdefault(direction, {})
+        entry[codec + "_ms"] = round(stat["min"] * 1e3, 3)
+        if "payload_bytes" in stat["extra"]:
+            codec_out[model]["payload_bytes"] = stat["extra"]["payload_bytes"]
+    elif name.startswith("test_federated_round_bytes"):
+        extra = stat["extra"]
+        federation_out.setdefault(extra["model"], {})[extra["compression"]] = {
+            "bytes_per_round_steady": extra["bytes_per_round_steady"],
+            "bytes_delivered": extra["bytes_delivered"],
+            "round_seconds_mean": round(extra["round_seconds_mean"], 4),
+            "wire_bytes_raw": extra["wire_bytes_raw"],
+            "wire_bytes_encoded": extra["wire_bytes_encoded"],
+        }
+for model, directions in codec_out.items():
+    for direction in ("encode", "decode"):
+        pair = directions.get(direction, {})
+        if "raw_ms" in pair and "npz_ms" in pair:
+            pair["speedup_raw_vs_npz"] = round(pair["npz_ms"] / pair["raw_ms"], 2)
+for model, settings in federation_out.items():
+    base = settings.get("none", {}).get("bytes_per_round_steady")
+    for setting, entry in settings.items():
+        if base and entry["bytes_per_round_steady"]:
+            entry["reduction_vs_none"] = round(
+                base / entry["bytes_per_round_steady"], 2)
+
 # Per-step timings in the shared repro.obs.metrics/v1 schema, so run-report
 # tooling and metrics.json consumers can read BENCH_*.json the same way.
 registry = MetricsRegistry()
@@ -130,6 +169,10 @@ for name, m in models.items():
     registry.gauge("bench.speedup_min", model=short).set(max(m["speedup_min"]))
     registry.gauge("bench.speedup_median_of_rounds",
                    model=short).set(statistics.median(m["speedup_min"]))
+for model, settings in federation_out.items():
+    for setting, entry in settings.items():
+        registry.gauge("bench.wire_bytes_per_round", model=model,
+                       compression=setting).set(entry["bytes_per_round_steady"])
 
 head = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                       text=True).stdout.strip()
@@ -145,6 +188,13 @@ report = {
     },
     "models": summary,
     "op_microbench_fwd_bwd": micro_out,
+    "wire": {
+        "workload": (f"codec: full state-dict encode/decode; federation: "
+                     f"3 rounds x 2 clients, DriftLearner, steady-state "
+                     f"bytes exclude the round-0 full broadcast"),
+        "codec": codec_out,
+        "federation_bytes_per_round": federation_out,
+    },
     "metrics": registry.to_dict(),
     "rounds": rounds_out,
 }
@@ -154,4 +204,8 @@ print(f"wrote {out_path}")
 for name, s in summary.items():
     print(f"  {name}: min {s['speedup_best_round_min']}x, "
           f"median-of-rounds {s['speedup_median_of_rounds']}x")
+for model, settings in federation_out.items():
+    best = max((e.get("reduction_vs_none", 1.0) for e in settings.values()),
+               default=1.0)
+    print(f"  wire {model}: best bytes/round reduction {best}x")
 EOF

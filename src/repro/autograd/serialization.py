@@ -1,14 +1,21 @@
 """Model checkpoint serialization.
 
-State dicts (flat ``name -> ndarray`` mappings) are stored as ``.npz``
-archives.  Parameter names may contain ``.`` which npz handles fine; we also
-provide an in-memory bytes codec used by the federated transport layer, so
-model weights can cross the (simulated) wire without pickle.
+State dicts (flat ``name -> ndarray`` mappings) are stored **on disk** as
+``.npz`` archives — the zip container is a fine checkpoint format and stays
+byte-compatible with every run directory written so far.  The **in-memory**
+bytes codec used by the federated transport layer is the zero-copy binary
+tensor codec of :mod:`repro.flare.codec` (JSON manifest + aligned raw
+little-endian buffers); the old npz bytes path remains readable (decode
+auto-detects by magic) and selectable as a correctness oracle.
+
+Note on copies: ``np.load`` materializes a fresh array per member access
+unless ``mmap_mode`` is requested (we never request it), so the historical
+``.copy()`` on every parameter double-copied each tensor on every load; the
+loads below return the materialized arrays directly.
 """
 
 from __future__ import annotations
 
-import io
 from collections import OrderedDict
 from pathlib import Path
 
@@ -30,17 +37,40 @@ def save_state_dict(state: dict, path: str | Path) -> Path:
 def load_state_dict(path: str | Path) -> "OrderedDict[str, np.ndarray]":
     """Read a state dict previously written by :func:`save_state_dict`."""
     with np.load(Path(path), allow_pickle=False) as archive:
-        return OrderedDict((key, archive[key].copy()) for key in archive.files)
+        # in-memory (non-mmap) load: each access already yields a fresh
+        # owned array, so no defensive copy is needed on top
+        return OrderedDict((key, archive[key]) for key in archive.files)
 
 
-def state_dict_to_bytes(state: dict) -> bytes:
-    """Serialize a state dict to npz bytes (no pickle)."""
-    buffer = io.BytesIO()
-    np.savez(buffer, **{key: np.asarray(value) for key, value in state.items()})
-    return buffer.getvalue()
+def state_dict_to_bytes(state: dict, codec: str = "raw") -> bytes:
+    """Serialize a state dict to wire bytes (no pickle).
+
+    ``codec`` is ``"raw"`` (zero-copy binary, the default), ``"raw+deflate"``
+    (raw layout + lossless shuffle/deflate) or ``"npz"`` (the legacy path,
+    kept as a correctness oracle).
+    """
+    # imported lazily: repro.flare depends on this module for checkpoints,
+    # so a module-level import back into repro.flare would be cyclic
+    from ..flare.codec import encode_tensors, encode_tensors_npz
+
+    if codec in ("raw", "raw+deflate"):
+        return encode_tensors(state, deflate=(codec == "raw+deflate"))
+    if codec != "npz":
+        raise ValueError(f"unknown state-dict codec {codec!r}")
+    return encode_tensors_npz(state)
 
 
 def state_dict_from_bytes(blob: bytes) -> "OrderedDict[str, np.ndarray]":
-    """Inverse of :func:`state_dict_to_bytes`."""
-    with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
-        return OrderedDict((key, archive[key].copy()) for key in archive.files)
+    """Inverse of :func:`state_dict_to_bytes`; auto-detects the codec.
+
+    Raw-codec blobs decode to read-only zero-copy views over ``blob``;
+    callers that mutate parameters in place (``Module.load_state_dict``
+    copies into its own buffers, so it is safe) need no copy, anyone else
+    should copy explicitly.
+    """
+    from ..flare.codec import MAGIC, decode_tensors, decode_tensors_npz
+
+    if bytes(blob[:4]) == MAGIC:
+        arrays, _extra = decode_tensors(blob)
+        return arrays
+    return decode_tensors_npz(blob)

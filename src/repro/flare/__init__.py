@@ -17,16 +17,29 @@ from .client import FederatedClient, session_key_from_token
 from .constants import DataKind, EventType, FLRole, ReservedKey, ReturnCode, TaskName
 from .controller import ScatterAndGather
 from .cross_site_eval import CrossSiteModelEval
-from .dxo import DXO, MetaKey
+from .codec import (
+    decode_tensors,
+    encode_tensors,
+    reset_wire_metrics,
+    wire_totals,
+)
+from .dxo import DXO, MetaKey, get_wire_codec, set_wire_codec
 from .events import FLComponent, LogCapture, get_fl_logger, set_console_level
 from .faults import FaultPlan, FaultyMessageBus
 from .filters import (
+    CompressionConfig,
+    DeltaDecode,
+    DeltaEncode,
     DXOFilter,
     ExcludeVars,
     FilterChain,
+    Float16Dequantize,
+    Float16Quantize,
     GaussianPrivacy,
     NormClipPrivacy,
     PercentilePrivacy,
+    TopKDensify,
+    TopKSparsify,
 )
 from .fl_context import FLContext
 from .job import FLJob
@@ -70,6 +83,8 @@ __all__ = [
     "AdminAPI", "ClientInfo", "JobStatus",
     "FLContext", "FLComponent", "LogCapture", "get_fl_logger", "set_console_level",
     "DXO", "MetaKey", "Shareable", "from_dxo", "to_dxo", "make_reply",
+    "encode_tensors", "decode_tensors", "wire_totals", "reset_wire_metrics",
+    "get_wire_codec", "set_wire_codec",
     "RSAKeyPair", "generate_keypair", "sign", "verify",
     "Certificate", "CertificateAuthority", "hmac_sign", "hmac_verify",
     "ParticipantSpec", "ProjectSpec", "StartupKit", "Provisioner",
@@ -81,6 +96,8 @@ __all__ = [
     "FullModelShareableGenerator", "ModelPersistor",
     "DXOFilter", "FilterChain", "ExcludeVars", "GaussianPrivacy",
     "PercentilePrivacy", "NormClipPrivacy",
+    "CompressionConfig", "DeltaEncode", "DeltaDecode",
+    "Float16Quantize", "Float16Dequantize", "TopKSparsify", "TopKDensify",
     "Learner", "FederatedClient", "session_key_from_token",
     "FLServer", "AuthenticationError",
     "ScatterAndGather", "CrossSiteModelEval",

@@ -8,7 +8,7 @@ import time
 from typing import TYPE_CHECKING
 
 from ..obs import trace as obs_trace
-from .constants import EventType, ReservedKey, ReturnCode, TaskName
+from .constants import DataKind, EventType, ReservedKey, ReturnCode, TaskName
 from .dxo import DXO, MetaKey
 from .events import FLComponent
 from .filters import DXOFilter
@@ -96,10 +96,19 @@ class FederatedClient(FLComponent):
                              shareable.get_header(ReservedKey.ROUND_NUMBER, 0))
         try:
             dxo = to_dxo(shareable)
-        except ValueError:
+            # Decompression/reconstruction filters (fp16 dequantize, delta
+            # decode) also signal unusable task data via ValueError — e.g. a
+            # delta against a model version this client does not hold.
+            for task_filter in self.task_data_filters:
+                dxo = task_filter.process(dxo, self.fl_ctx)
+        except ValueError as error:
+            self.log_warning("task data for %r unusable: %s", task_name, error)
             return make_reply(ReturnCode.BAD_TASK_DATA)
-        for task_filter in self.task_data_filters:
-            dxo = task_filter.process(dxo, self.fl_ctx)
+        if dxo.data_kind == DataKind.WEIGHTS:
+            # Remember the round's received global model: DeltaEncode diffs
+            # the outgoing result against it.  These arrays may be read-only
+            # views into the received blob; every consumer copies on write.
+            self.fl_ctx.set_prop(ReservedKey.GLOBAL_MODEL, dxo.data)
         gate = self.task_semaphore
         try:
             if gate is not None:

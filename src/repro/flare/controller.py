@@ -16,19 +16,32 @@ import numpy as np
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .aggregators import Aggregator
-from .constants import EventType, ReservedKey, ReturnCode, TaskName
-from .dxo import MetaKey
+from .constants import DataKind, EventType, ReservedKey, ReturnCode, TaskName
+from .dxo import DXO, MetaKey
 from .events import FLComponent
-from .filters import DXOFilter
+from .filters import (
+    CompressionConfig,
+    DXOFilter,
+    Float16Dequantize,
+    Float16Quantize,
+    TopKDensify,
+    TopKSparsify,
+    diff_tensors,
+)
 from .persistor import ModelPersistor
 from .server import FLServer
-from .shareable import to_dxo
+from .shareable import Shareable, from_dxo, to_dxo
 from .shareable_generator import FullModelShareableGenerator
 from .stats import ClientRoundRecord, RoundRecord, RunStats
 
 __all__ = ["ScatterAndGather"]
 
 Evaluator = Callable[[dict[str, np.ndarray]], dict[str, float]]
+
+# Byte-scaled histogram buckets (powers of four from 1 KiB to 4 GiB) for the
+# per-round wire-traffic distribution; the registry's default buckets are
+# seconds-scaled and would lump every round into the overflow bucket.
+_BYTE_BUCKETS: tuple[float, ...] = tuple(float(1024 * 4 ** i) for i in range(16))
 
 
 class ScatterAndGather(FLComponent):
@@ -60,6 +73,14 @@ class ScatterAndGather(FLComponent):
         historical behaviour); with N > 0 an under-quorum round keeps the
         previous global model, marks the missing sites as dropped and moves
         on, and only the (N+1)-th consecutive failure raises.
+    compression:
+        Optional :class:`CompressionConfig` switching on the wire-efficient
+        path: the server-side decompression filters are prepended to
+        ``result_filters``, the aggregator is pointed at WEIGHT_DIFF when
+        delta encoding is on, broadcasts are fp16-quantized, and — with
+        downlink deltas enabled — each round ships only a versioned diff of
+        the global model to every site that acknowledged the previous one
+        (sites with a stale or unknown model version get the full weights).
     """
 
     def __init__(self, server: FLServer, client_names: list[str],
@@ -74,7 +95,8 @@ class ScatterAndGather(FLComponent):
                  clients_per_round: int | None = None,
                  result_timeout: float = 600.0,
                  max_failed_rounds: int = 0,
-                 sampling_seed: int = 0) -> None:
+                 sampling_seed: int = 0,
+                 compression: CompressionConfig | None = None) -> None:
         super().__init__(name="ScatterAndGather")
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -101,6 +123,22 @@ class ScatterAndGather(FLComponent):
         self.min_clients = min_clients if min_clients is not None else default_min
         self.max_failed_rounds = max_failed_rounds
         self._under_quorum_streak = 0
+        self.compression = compression
+        if compression is not None:
+            self.result_filters = (compression.server_result_filters()
+                                   + self.result_filters)
+            compression.adapt_aggregator(self.aggregator)
+        # Downlink-delta bookkeeping: the model (and version) each client is
+        # known to hold, plus the last broadcast global to diff against.
+        self._downlink_delta = bool(compression is not None and compression.delta
+                                    and compression.downlink_delta)
+        self._last_broadcast: dict[str, np.ndarray] | None = None
+        self._broadcast_version = -1
+        self._client_version: dict[str, int] = {}
+        # Error feedback for sparsified downlink deltas: the part of each
+        # round's delta that top-k truncation did not ship, carried into the
+        # next round so every coordinate is eventually delivered.
+        self._downlink_residual: dict[str, np.ndarray] = {}
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -141,10 +179,10 @@ class ScatterAndGather(FLComponent):
         else:
             participants = list(self.client_names)
 
-        task = self.shareable_generator.learnable_to_shareable(self.global_weights, fl_ctx)
-        task.set_header(ReservedKey.ROUND_NUMBER, round_number)
-        task.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
-        unreachable = self.server.broadcast_task(TaskName.TRAIN, task, participants)
+        bytes_before = self.server.bus.delivered_bytes
+        task, overrides = self._build_round_tasks(participants, round_number, fl_ctx)
+        unreachable = self.server.broadcast_task(TaskName.TRAIN, task, participants,
+                                                 overrides=overrides)
         if unreachable:
             self.log_warning("round %d: %d site(s) unreachable at broadcast: %s",
                              round_number, len(unreachable), ", ".join(unreachable))
@@ -155,13 +193,23 @@ class ScatterAndGather(FLComponent):
         accepted = 0
         contributors: set[str] = set()
         expected = len(participants) - len(unreachable)
-        replies = self.server.collect_results(expected, timeout=self.result_timeout)
-        for sender, reply in replies:
+        # Streaming aggregation: each reply is decoded, filtered and folded
+        # into the aggregator's running sums the moment it arrives, then its
+        # blob goes out of scope — the server holds O(1) model copies at any
+        # time instead of buffering every client's full state dict.
+        for sender, reply in self.server.iter_results(expected,
+                                                      timeout=self.result_timeout):
             if reply.return_code != ReturnCode.OK:
+                if reply.return_code == ReturnCode.EXECUTION_EXCEPTION:
+                    # the client decoded (and applied) the task data before
+                    # its training failed, so its model cache is current
+                    self._client_version[sender] = self._broadcast_version
                 self.log_warning("client %s returned %s; skipping its update",
                                  sender, reply.return_code)
                 continue
+            self._client_version[sender] = self._broadcast_version
             dxo = to_dxo(reply)
+            del reply
             for result_filter in self.result_filters:
                 dxo = result_filter.process(dxo, fl_ctx)
             self.log_info("Contribution from %s received.", sender)
@@ -176,6 +224,7 @@ class ScatterAndGather(FLComponent):
                 num_steps=int(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 0)),
                 seconds=float(dxo.get_meta_prop("train_seconds", 0.0)),
             ))
+            del dxo
         record.dropped_clients = sorted(set(participants) - contributors)
         if record.dropped_clients:
             obs_metrics.counter("federation.dropped_clients").inc(len(record.dropped_clients))
@@ -188,7 +237,10 @@ class ScatterAndGather(FLComponent):
             self._under_quorum_streak += 1
             record.quorum_met = False
             record.seconds = time.perf_counter() - round_started
+            record.bytes_on_wire = self.server.bus.delivered_bytes - bytes_before
             obs_metrics.histogram("federation.round_seconds").observe(record.seconds)
+            obs_metrics.histogram("federation.round_bytes",
+                                  buckets=_BYTE_BUCKETS).observe(record.bytes_on_wire)
             self.stats.add_round(record)
             if self._under_quorum_streak > self.max_failed_rounds:
                 raise RuntimeError(
@@ -220,7 +272,141 @@ class ScatterAndGather(FLComponent):
             self.persistor.save(self.global_weights, fl_ctx,
                                 metric=record.global_metrics.get("valid_acc"))
         record.seconds = time.perf_counter() - round_started
+        record.bytes_on_wire = self.server.bus.delivered_bytes - bytes_before
         obs_metrics.histogram("federation.round_seconds").observe(record.seconds)
+        obs_metrics.histogram("federation.round_bytes",
+                              buckets=_BYTE_BUCKETS).observe(record.bytes_on_wire)
         self.stats.add_round(record)
         self.log_info("Round %d finished.", round_number)
         self.fire_event(EventType.ROUND_DONE, fl_ctx)
+
+    # ------------------------------------------------------------------
+    # downlink payload construction
+    # ------------------------------------------------------------------
+    def _build_round_tasks(self, participants: list[str], round_number: int,
+                           fl_ctx) -> tuple[Shareable, dict[str, Shareable] | None]:
+        """Build the round's task payload(s).
+
+        Without compression this is the historical path: one full-model
+        shareable for everyone.  With compression, the broadcast global is
+        (optionally) rounded through fp16 — making the canonical model
+        bit-identical on both ends of the wire — and, once a baseline has
+        been established, sites that acknowledged the previous broadcast
+        receive a small versioned WEIGHT_DIFF while stale or unknown sites
+        get the full weights.
+        """
+        if self.compression is None:
+            task = self.shareable_generator.learnable_to_shareable(
+                self.global_weights, fl_ctx)
+            task.set_header(ReservedKey.ROUND_NUMBER, round_number)
+            task.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
+            return task, None
+
+        if self.compression.float16:
+            # Quantize the canonical global once per round so the base the
+            # clients diff against is exactly the model the server holds;
+            # idempotent, so unchanged (under-quorum) models are stable.
+            self.global_weights = {
+                key: value.astype(np.float16).astype(value.dtype)
+                if value.dtype in (np.float32, np.float64) else value
+                for key, value in ((k, np.asarray(v))
+                                   for k, v in self.global_weights.items())}
+
+        version = round_number
+        synced: list[str] = []
+        if (self._downlink_delta and self._last_broadcast is not None
+                and set(self._last_broadcast) == set(self.global_weights)):
+            synced = [client for client in participants
+                      if self._client_version.get(client) == self._broadcast_version]
+        payloads: dict[str, DXO] = {}
+        if synced:
+            delta = {key: diff_tensors(self.global_weights[key],
+                                       self._last_broadcast[key])
+                     for key in self.global_weights}
+            meta = {MetaKey.MODEL_VERSION: version,
+                    MetaKey.BASE_VERSION: self._broadcast_version}
+            payloads["delta"] = self._encode_downlink_delta(delta, meta, fl_ctx)
+        # built after any error-feedback truncation, so full-broadcast sites
+        # receive exactly the model the delta sites reconstruct
+        payloads["full"] = DXO(data_kind=DataKind.WEIGHTS,
+                               data=self.global_weights,
+                               meta={MetaKey.MODEL_VERSION: version})
+
+        encoded: dict[str, Shareable] = {}
+        for kind, dxo in payloads.items():
+            for task_filter in self.compression.downlink_task_filters():
+                dxo = task_filter.process(dxo, fl_ctx)
+            shareable = from_dxo(dxo)
+            shareable.set_header(ReservedKey.ROUND_NUMBER, round_number)
+            shareable.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
+            encoded[kind] = shareable
+        if synced:
+            self.log_info(
+                "round %d: delta broadcast to %d/%d site(s), full model to the rest",
+                round_number, len(synced), len(participants))
+
+        if self._downlink_delta:
+            # base for the next round's diff: what this round put on the wire
+            # (dxo_to_learnable always builds fresh arrays, so references are
+            # stable across the coming aggregation)
+            self._last_broadcast = {key: np.asarray(value)
+                                    for key, value in self.global_weights.items()}
+        self._broadcast_version = version
+        overrides = ({client: encoded["delta"] for client in synced}
+                     if synced else None)
+        return encoded["full"], overrides
+
+    def _encode_downlink_delta(self, delta: dict[str, np.ndarray], meta: dict,
+                               fl_ctx) -> DXO:
+        """Build the delta payload, keeping server and clients bit-identical.
+
+        The payload — exactly as the clients will reconstruct it after
+        dequantization/densification — also becomes the canonical global
+        model, rebuilt with the same ``base + shipped`` arithmetic the
+        clients run, so every synced site and the server hold the same
+        weights bit for bit.  (Even the lossless f32 path needs this:
+        ``base + (g - base)`` can differ from ``g`` by an ulp.)  Whatever the
+        truncation/rounding did not deliver is carried in
+        ``_downlink_residual`` into the next round's delta: no update is
+        lost, only deferred.
+        """
+        for key, remainder in self._downlink_residual.items():
+            if key in delta and delta[key].dtype.kind == "f":
+                delta[key] = delta[key] + remainder
+        if self.compression.top_k:
+            dense = DXO(data_kind=DataKind.WEIGHT_DIFF, data=delta,
+                        meta=dict(meta))
+            payload = TopKSparsify(ratio=self.compression.top_k).process(
+                dense, fl_ctx)
+            if self.compression.float16:
+                # round the shipped values through fp16 up front so the
+                # canonical model matches what the wire actually delivers
+                payload = Float16Quantize().process(payload, fl_ctx)
+                shipped = TopKDensify().process(
+                    Float16Dequantize().process(payload, fl_ctx), fl_ctx).data
+            else:
+                shipped = TopKDensify().process(payload, fl_ctx).data
+        elif self.compression.float16:
+            # dense fp16 delta: the difference of two fp16-representable
+            # models need not be fp16-representable, so pre-round it and
+            # account the rounding in the residual
+            shipped = {key: value.astype(np.float16).astype(value.dtype)
+                       if value.dtype in (np.float32, np.float64) else value
+                       for key, value in delta.items()}
+            payload = DXO(data_kind=DataKind.WEIGHT_DIFF, data=shipped,
+                          meta=dict(meta))
+        else:
+            shipped = delta
+            payload = DXO(data_kind=DataKind.WEIGHT_DIFF, data=delta,
+                          meta=dict(meta))
+        target = self.global_weights
+        # same expression DeltaDecode evaluates, so the result is bit-equal
+        self.global_weights = {
+            key: (np.asarray(self._last_broadcast[key]) + np.asarray(shipped[key]))
+            .astype(np.asarray(target[key]).dtype, copy=False)
+            for key in target}
+        self._downlink_residual = {
+            key: delta[key] - diff_tensors(self.global_weights[key],
+                                           self._last_broadcast[key])
+            for key in delta if delta[key].dtype.kind == "f"}
+        return payload

@@ -2,25 +2,54 @@
 
 NVFlare moves model weights and metrics between components inside DXOs: a
 ``data_kind`` tag, a dict payload, and free-form metadata.  This module also
-provides a pickle-free wire codec (JSON header + npz tensor block) used by
-the transport layer, so everything that crosses the simulated network is
-actually serialized and deserialized.
+provides the pickle-free wire codecs used by the transport layer, so
+everything that crosses the simulated network is actually serialized and
+deserialized.
+
+Two codecs are supported and auto-detected by magic on decode:
+
+``raw`` (default)
+    The zero-copy binary tensor codec of :mod:`repro.flare.codec` — JSON
+    manifest + aligned little-endian buffers.  Decoded arrays are read-only
+    views over the blob.
+``npz``
+    The original JSON-header + ``np.savez`` block.  Kept as a correctness
+    oracle (the raw codec must round-trip bit-identically against it) and
+    for on-disk checkpoints; select it per-call (``to_bytes(codec="npz")``)
+    or process-wide with :func:`set_wire_codec`.
 """
 
 from __future__ import annotations
 
-import io
 import json
 import struct
 from typing import Any, Mapping
 
 import numpy as np
 
+from . import codec as _codec
 from .constants import DataKind
 
-__all__ = ["DXO", "MetaKey"]
+__all__ = ["DXO", "MetaKey", "set_wire_codec", "get_wire_codec"]
 
 _MAGIC = b"DXO1"
+
+_WIRE_CODECS = ("raw", "raw+deflate", "npz")
+_default_codec = "raw"
+
+
+def set_wire_codec(name: str) -> str:
+    """Set the process-wide default wire codec; returns the previous one."""
+    global _default_codec
+    if name not in _WIRE_CODECS:
+        raise ValueError(f"unknown wire codec {name!r} (choose from {_WIRE_CODECS})")
+    old = _default_codec
+    _default_codec = name
+    return old
+
+
+def get_wire_codec() -> str:
+    return _default_codec
 
 
 class MetaKey:
@@ -31,6 +60,11 @@ class MetaKey:
     VALIDATION_METRICS = "VALIDATION_METRICS"
     CLIENT_NAME = "CLIENT_NAME"
     CURRENT_ROUND = "CURRENT_ROUND"
+    # Wire-compression bookkeeping (see repro.flare.filters)
+    MODEL_VERSION = "compression.model_version"
+    BASE_VERSION = "compression.base_version"
+    FP16_DTYPES = "compression.fp16_dtypes"
+    TOPK_SPEC = "compression.topk"
 
 
 class DXO:
@@ -62,9 +96,7 @@ class DXO:
                     raise TypeError(f"{self.data_kind} entry {key!r} is not an ndarray")
 
     # ------------------------------------------------------------------
-    # wire codec: [magic][u32 json_len][json header][npz tensors]
-    # ------------------------------------------------------------------
-    def to_bytes(self) -> bytes:
+    def _split_payload(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
         arrays: dict[str, np.ndarray] = {}
         scalars: dict[str, Any] = {}
         for key, value in self.data.items():
@@ -76,34 +108,76 @@ class DXO:
                 scalars[key] = value.item()
             else:
                 raise TypeError(f"cannot serialize data entry {key!r} of type {type(value)!r}")
+        return arrays, scalars
+
+    def to_bytes(self, codec: str | None = None) -> bytes:
+        """Serialize with the given codec (default: the process-wide one)."""
+        codec = codec or _default_codec
+        arrays, scalars = self._split_payload()
+        if codec in ("raw", "raw+deflate"):
+            extra = {"data_kind": self.data_kind, "meta": self.meta,
+                     "scalars": scalars}
+            return _codec.encode_tensors(arrays, extra,
+                                         deflate=(codec == "raw+deflate"))
+        if codec != "npz":
+            raise ValueError(f"unknown wire codec {codec!r} (choose from {_WIRE_CODECS})")
+        # legacy layout: [magic][u32 json_len][json header][npz tensors]
         header = json.dumps({
             "data_kind": self.data_kind,
             "meta": self.meta,
             "scalars": scalars,
-            "array_keys": sorted(arrays),
+            # insertion order, not sorted: consumers iterate state dicts in
+            # order, and both codecs must reconstruct the same ordering
+            "array_keys": list(arrays),
         }).encode("utf-8")
-        tensor_block = b""
-        if arrays:
-            buffer = io.BytesIO()
-            # npz forbids "/" etc. in member names only loosely; keys here are
-            # model parameter names which np.savez accepts verbatim.
-            np.savez(buffer, **arrays)
-            tensor_block = buffer.getvalue()
+        tensor_block = _codec.encode_tensors_npz(arrays) if arrays else b""
         return _MAGIC + struct.pack("<I", len(header)) + header + tensor_block
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "DXO":
-        if blob[:4] != _MAGIC:
-            raise ValueError("not a DXO blob (bad magic)")
+        """Decode either wire format; raises ``ValueError`` on corrupt blobs.
+
+        A blob off a faulty transport may be truncated or bit-flipped, so
+        every length is validated before it is used for slicing: short or
+        inconsistent blobs raise a clear :class:`ValueError` instead of a
+        cryptic struct/json/zip traceback.
+        """
+        if len(blob) < 4:
+            raise ValueError(f"not a DXO blob: {len(blob)} byte(s) is shorter "
+                             "than the 4-byte magic")
+        magic = bytes(blob[:4])
+        if magic == _codec.MAGIC:
+            arrays, extra = _codec.decode_tensors(blob)
+            if "data_kind" not in extra:
+                raise ValueError("corrupted DXO blob: tensor manifest carries "
+                                 "no data_kind")
+            data: dict[str, Any] = dict(extra.get("scalars", {}))
+            data.update(arrays)
+            return cls(data_kind=extra["data_kind"], data=data,
+                       meta=extra.get("meta", {}))
+        if magic != _MAGIC:
+            raise ValueError(f"not a DXO blob (bad magic {magic!r})")
+        if len(blob) < 8:
+            raise ValueError(f"truncated DXO blob: {len(blob)} byte(s) is "
+                             "shorter than the 8-byte header prefix")
         (header_len,) = struct.unpack("<I", blob[4:8])
-        header = json.loads(blob[8:8 + header_len].decode("utf-8"))
-        data: dict[str, Any] = dict(header["scalars"])
+        if 8 + header_len > len(blob):
+            raise ValueError(f"truncated DXO blob: header length {header_len} "
+                             f"overruns the {len(blob)}-byte blob")
+        try:
+            header = json.loads(blob[8:8 + header_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValueError(f"corrupted DXO blob: header is not valid JSON "
+                             f"({error})") from error
+        if not isinstance(header, dict) or "data_kind" not in header:
+            raise ValueError("corrupted DXO blob: header carries no data_kind")
+        data = dict(header.get("scalars", {}))
         tensor_block = blob[8 + header_len:]
-        if header["array_keys"]:
-            with np.load(io.BytesIO(tensor_block), allow_pickle=False) as archive:
-                for key in header["array_keys"]:
-                    data[key] = archive[key].copy()
-        return cls(data_kind=header["data_kind"], data=data, meta=header["meta"])
+        array_keys = header.get("array_keys", [])
+        if array_keys:
+            arrays = _codec.decode_tensors_npz(tensor_block, keys=list(array_keys))
+            data.update(arrays)
+        return cls(data_kind=header["data_kind"], data=data, meta=header.get("meta", {}))
 
     def __repr__(self) -> str:
         return f"DXO(kind={self.data_kind}, keys={sorted(self.data)[:4]}..., meta={sorted(self.meta)})"

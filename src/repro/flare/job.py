@@ -14,7 +14,7 @@ import numpy as np
 
 from .aggregators import Aggregator, InTimeAccumulateWeightedAggregator
 from .constants import DataKind
-from .filters import DXOFilter
+from .filters import CompressionConfig, DXOFilter
 from .learner import Learner
 
 __all__ = ["FLJob"]
@@ -50,6 +50,12 @@ class FLJob:
         whatever arrived.
     max_failed_rounds:
         Consecutive under-quorum rounds tolerated before the run aborts.
+    compression:
+        Wire-compression chain for the whole job: a
+        :class:`CompressionConfig`, a spec string like ``"delta+fp16"``, or
+        ``None`` (full weights both ways).  ``SimulatorRunner`` installs the
+        matching client and server filter chains and switches the wire
+        codec accordingly; its own ``compression=`` argument overrides this.
     """
 
     name: str
@@ -65,8 +71,10 @@ class FLJob:
     min_clients: int | None = None
     result_timeout: float = 600.0
     max_failed_rounds: int = 0
+    compression: CompressionConfig | str | None = None
 
     def __post_init__(self) -> None:
+        self.compression = CompressionConfig.from_spec(self.compression)
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not self.initial_weights:

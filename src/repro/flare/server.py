@@ -90,8 +90,13 @@ class FLServer(FLComponent):
     # task fan-out / collection
     # ------------------------------------------------------------------
     def broadcast_task(self, task_name: str, shareable: Shareable,
-                       targets: list[str]) -> list[str]:
+                       targets: list[str],
+                       overrides: dict[str, Shareable] | None = None) -> list[str]:
         """Send one task per target with retry/backoff.
+
+        ``overrides`` substitutes a different payload for specific targets —
+        the wire-efficient controller uses it to send a full model to stale
+        sites while everyone else gets a small delta.
 
         Returns the targets that stayed unreachable after the retry budget —
         they never got the task and cannot answer, so callers should count
@@ -101,7 +106,8 @@ class FLServer(FLComponent):
         for target in targets:
             if target not in self.tokens:
                 raise AuthenticationError(f"client {target!r} is not registered")
-            task = Shareable(shareable)  # shallow copy per recipient
+            payload = shareable if overrides is None else overrides.get(target, shareable)
+            task = Shareable(payload)  # shallow copy per recipient
             task.set_header(ReservedKey.TASK_NAME, task_name)
             try:
                 attempts = send_with_retry(self.bus, self.name, target, task_name,
@@ -114,19 +120,23 @@ class FLServer(FLComponent):
                 unreachable.append(target)
         return unreachable
 
-    def collect_results(self, expected: int, timeout: float = 600.0
-                        ) -> list[tuple[str, Shareable]]:
-        """Collect up to ``expected`` task results within ``timeout`` seconds.
+    def iter_results(self, expected: int, timeout: float = 600.0):
+        """Yield up to ``expected`` task results as they arrive.
 
-        Returns whatever arrived — possibly a partial (even empty) list —
-        instead of raising mid-collection, so results received before a late
-        timeout are never lost.  Corrupted messages (HMAC failures) are
-        logged and skipped without aborting the wait; each returned Shareable
-        still carries its own per-client return code for the caller to judge.
+        The streaming half of the wire path: each ``(sender, shareable)``
+        pair is handed to the caller the moment it is received and verified,
+        so the caller can fold it into a running aggregate and drop the blob
+        — the server never buffers a round's worth of model payloads.
+
+        Stops early (without raising) when ``timeout`` expires, so results
+        received before a late deadline are never lost.  Corrupted messages
+        (HMAC failures) are logged and skipped without aborting the wait;
+        each yielded Shareable still carries its own per-client return code
+        for the caller to judge.
         """
-        results: list[tuple[str, Shareable]] = []
+        yielded = 0
         deadline = time.monotonic() + timeout
-        while len(results) < expected:
+        while yielded < expected:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
@@ -137,11 +147,17 @@ class FLServer(FLComponent):
                 continue
             except ReceiveTimeout:
                 break
-            results.append((sender, shareable))
-        if len(results) < expected:
+            yielded += 1
+            yield sender, shareable
+        if yielded < expected:
             self.log_warning("collected %d/%d result(s) before the %.1fs deadline",
-                             len(results), expected, timeout)
-        return results
+                             yielded, expected, timeout)
+
+    def collect_results(self, expected: int, timeout: float = 600.0
+                        ) -> list[tuple[str, Shareable]]:
+        """Buffered variant of :meth:`iter_results` (kept for callers that
+        genuinely need the whole round in memory, e.g. cross-site eval)."""
+        return list(self.iter_results(expected, timeout=timeout))
 
     def stop_clients(self, targets: list[str]) -> None:
         """Best-effort shutdown fan-out; unreachable sites are only logged."""

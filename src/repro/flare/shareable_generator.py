@@ -47,6 +47,12 @@ class FullModelShareableGenerator(FLComponent):
             missing = set(dxo.data) - set(current)
             if missing:
                 raise KeyError(f"diff refers to unknown parameters: {sorted(missing)[:3]}")
-            return {key: np.asarray(current[key]) + np.asarray(dxo.data.get(key, 0.0))
-                    for key in current}
+            # keep each parameter's dtype: aggregated diffs arrive as float64
+            # (and bool diffs as int8) and must not promote the global model
+            updated: dict[str, np.ndarray] = {}
+            for key in current:
+                base = np.asarray(current[key])
+                updated[key] = (base + np.asarray(dxo.data.get(key, 0.0))
+                                ).astype(base.dtype, copy=False)
+            return updated
         raise ValueError(f"cannot build a model from data kind {dxo.data_kind!r}")

@@ -18,10 +18,13 @@ from pathlib import Path
 import numpy as np
 
 from ..obs.session import TelemetrySession
+from . import codec as wire_codec_module
 from .client import FederatedClient
 from .controller import ScatterAndGather
+from .dxo import set_wire_codec
 from .events import LogCapture
 from .faults import FaultPlan, FaultyMessageBus
+from .filters import CompressionConfig
 from .fl_context import FLContext
 from .job import FLJob
 from .persistor import ModelPersistor
@@ -54,7 +57,9 @@ class SimulatorRunner:
                  capture_log: bool = True, key_bits: int = 512,
                  max_parallel: int = 2,
                  fault_plan: FaultPlan | None = None,
-                 telemetry: bool = False) -> None:
+                 telemetry: bool = False,
+                 compression: CompressionConfig | str | None = None,
+                 wire_codec: str | None = None) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
@@ -71,6 +76,16 @@ class SimulatorRunner:
         # metrics.json / trace.jsonl / profile.json under run_dir (pointers
         # land in stats.telemetry).
         self.telemetry = telemetry
+        # Wire-efficiency knobs: ``compression`` ("delta+fp16", a
+        # CompressionConfig, or None; overrides job.compression) turns on
+        # the whole delta/quantize/sparsify chain on both sides, and
+        # ``wire_codec`` pins the tensor codec ("raw", "raw+deflate" or the
+        # legacy "npz" oracle) for the duration of the run.
+        self.compression = CompressionConfig.from_spec(compression) \
+            if compression is not None else job.compression
+        if wire_codec is None and self.compression is not None:
+            wire_codec = self.compression.wire_codec
+        self.wire_codec = wire_codec
         # NVFlare's simulator multiplexes N clients over T threads; here all
         # clients have their own thread but at most ``max_parallel`` execute
         # a task at once, bounding peak training memory.
@@ -84,9 +99,13 @@ class SimulatorRunner:
         capture = LogCapture().attach() if self.capture_log else None
         session = (TelemetrySession(self.run_dir).start()
                    if self.telemetry else None)
+        previous_codec = (set_wire_codec(self.wire_codec)
+                          if self.wire_codec is not None else None)
         try:
             return self._run_inner(capture, session)
         finally:
+            if previous_codec is not None:
+                set_wire_codec(previous_codec)
             if session is not None:
                 session.stop()
             if capture is not None:
@@ -108,9 +127,17 @@ class SimulatorRunner:
         clients: list[FederatedClient] = []
         for spec in project.clients:
             learner = self.job.learner_factory(spec.name)
+            task_data_filters: list = []
+            task_result_filters = list(self.job.task_result_filters)
+            if self.compression is not None:
+                # fresh instances per client: DeltaDecode caches this
+                # site's reconstructed global model between rounds
+                task_data_filters = self.compression.client_task_filters()
+                task_result_filters += self.compression.client_result_filters()
             client = FederatedClient(
                 kits[spec.name], learner, bus,
-                task_result_filters=self.job.task_result_filters)
+                task_result_filters=task_result_filters,
+                task_data_filters=task_data_filters)
             client.task_semaphore = gate
             client.register(server)
             client.log_info(
@@ -135,7 +162,9 @@ class SimulatorRunner:
             min_clients=self.job.min_clients,
             result_timeout=self.job.result_timeout,
             max_failed_rounds=self.job.max_failed_rounds,
+            compression=self.compression,
         )
+        wire_before = wire_codec_module.wire_totals()
 
         try:
             if self.threads:
@@ -160,12 +189,24 @@ class SimulatorRunner:
                     raise stop_error
 
         final_weights = controller.global_weights
+        # Per-run wire accounting: the codec registry is cumulative per
+        # process, so the run's share is the before/after delta.
+        wire_after = wire_codec_module.wire_totals()
+
+        def _wire_delta(prefix: str) -> int:
+            return int(
+                sum(v for k, v in wire_after.items() if k.startswith(prefix))
+                - sum(v for k, v in wire_before.items() if k.startswith(prefix)))
+
+        stats.wire_bytes_raw = _wire_delta("transport.bytes_raw")
+        stats.wire_bytes_encoded = _wire_delta("transport.bytes_encoded")
         if session is not None:
             # Fold the bus's always-on registry (delivery totals, per-topic
             # latency, injected faults) into the run's metrics.json and point
             # the stats at the artifacts the session will write on stop().
             if session.registry is not None:
                 session.registry.merge(bus.metrics)
+                session.registry.merge(wire_codec_module.wire_metrics)
             stats.telemetry = session.artifact_paths()
         try:
             best_weights = persistor.load_best()

@@ -36,6 +36,8 @@ class RoundRecord:
     client_records: list[ClientRoundRecord] = field(default_factory=list)
     global_metrics: dict[str, float] = field(default_factory=dict)
     seconds: float = 0.0
+    # Encoded bytes this round put on the bus (broadcasts + results).
+    bytes_on_wire: int = 0
     # Sites that were tasked but contributed no usable update (crashed,
     # unreachable, timed out or returned a non-OK code).
     dropped_clients: list[str] = field(default_factory=list)
@@ -55,6 +57,11 @@ class RunStats:
     retries: int = 0
     # Receives skipped by message-id dedup (resends and replayed duplicates).
     duplicates_dropped: int = 0
+    # Wire-codec accounting for the run: tensor payload bytes before
+    # encoding vs bytes actually produced for the wire (all codecs, both
+    # directions).  With compression on, encoded < raw.
+    wire_bytes_raw: int = 0
+    wire_bytes_encoded: int = 0
     # Paths of the telemetry artifacts a TelemetrySession wrote for this run
     # (keys "metrics"/"trace"/"profile"), empty when telemetry was off.
     telemetry: dict[str, str] = field(default_factory=dict)
@@ -124,6 +131,8 @@ class RunStats:
             "bytes_delivered": self.bytes_delivered,
             "retries": self.retries,
             "duplicates_dropped": self.duplicates_dropped,
+            "wire_bytes_raw": self.wire_bytes_raw,
+            "wire_bytes_encoded": self.wire_bytes_encoded,
             "dropped_clients": self.dropped_clients,
             "failed_rounds": self.failed_rounds,
             "rounds": [asdict(record) for record in self.rounds],
@@ -145,6 +154,8 @@ class RunStats:
                     bytes_delivered=payload.get("bytes_delivered", 0),
                     retries=payload.get("retries", 0),
                     duplicates_dropped=payload.get("duplicates_dropped", 0),
+                    wire_bytes_raw=payload.get("wire_bytes_raw", 0),
+                    wire_bytes_encoded=payload.get("wire_bytes_encoded", 0),
                     telemetry=dict(payload.get("telemetry", {})))
         for round_payload in payload.get("rounds", []):
             clients = [ClientRoundRecord(**c)
@@ -154,6 +165,7 @@ class RunStats:
                 client_records=clients,
                 global_metrics=dict(round_payload.get("global_metrics", {})),
                 seconds=round_payload.get("seconds", 0.0),
+                bytes_on_wire=round_payload.get("bytes_on_wire", 0),
                 dropped_clients=list(round_payload.get("dropped_clients", [])),
                 quorum_met=round_payload.get("quorum_met", True)))
         return stats
