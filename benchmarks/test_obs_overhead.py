@@ -1,11 +1,16 @@
-"""Telemetry overhead: full instrumentation on vs off, same train step.
+"""Telemetry + health overhead: instrumentation on vs off, same workload.
 
 The acceptance target is < 3% median step-time overhead with metrics +
-tracing + op profiling all armed, measured on the PR 2 fused-model
-microbench workload (forward+backward train step).  Run with
-``--benchmark-only`` like the other benches; the A/B comparison itself is
-asserted loosely in ``tests/obs/test_overhead.py`` (shared machines drift
-too much for a 3% assertion to be stable in tier-1).
+tracing + op profiling all armed (and likewise with the health monitor
+added on top), measured on the PR 2 fused-model microbench workload
+(forward+backward train step).  Run with ``--benchmark-only`` like the
+other benches; the A/B comparison itself is asserted loosely in
+``tests/obs/test_overhead.py`` (shared machines drift too much for a 3%
+assertion to be stable in tier-1).
+
+The health monitor's per-round cost (sketching + detectors at aggregation
+time) is benchmarked separately — it is off the training hot path by
+design, bounded by the coordinate sample size, not the model size.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ import pytest
 
 from repro.autograd import functional as F
 from repro.models import build_classifier
-from repro.obs import TelemetrySession, span
+from repro.obs import HealthMonitor, TelemetrySession, span
 
 BATCH, SEQ, VOCAB = 16, 40, 200
 
@@ -48,3 +53,47 @@ def test_step_telemetry_on(benchmark, model_name, tmp_path):
     with TelemetrySession(tmp_path):
         loss = benchmark(step)
     assert np.isfinite(loss)
+
+
+@pytest.mark.parametrize("model_name", ["bert-mini", "lstm"])
+def test_step_telemetry_and_health_on(benchmark, model_name, tmp_path):
+    """Steps run between health-monitored rounds: same < 3% budget.
+
+    The monitor does nothing per step (it hooks aggregation), so armed
+    telemetry+health must time like armed telemetry alone.
+    """
+    step = _make_step(model_name)
+    with TelemetrySession(tmp_path, health=True):
+        loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def _make_round(n_clients=8, n_params=200_000):
+    """One full monitored round over realistic-size client updates."""
+    rng = np.random.default_rng(0)
+    reference = {"w": rng.standard_normal(n_params).astype(np.float32)}
+    updates = {f"site-{i}": {"w": reference["w"]
+                             + rng.standard_normal(n_params).astype(np.float32)
+                             * 0.01}
+               for i in range(n_clients)}
+    new_global = {"w": reference["w"] + 0.01}
+    state = {"round": 0}
+
+    def round_once(monitor):
+        r = state["round"]
+        state["round"] = r + 1
+        monitor.begin_round(r, sorted(updates), reference=reference)
+        for name, data in updates.items():
+            monitor.record_update(name, data, latency_seconds=0.1)
+        monitor.end_round(seconds=1.0, bytes_on_wire=10_000,
+                          global_metrics={"valid_acc": 0.8},
+                          new_global=new_global)
+
+    return round_once
+
+
+def test_health_round_cost(benchmark):
+    """Absolute per-round monitor cost (8 clients x 200k params)."""
+    monitor = HealthMonitor()
+    round_once = _make_round()
+    benchmark(round_once, monitor)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Seeded health-monitor smoke run for CI and baseline regeneration.
+
+Runs a small deterministic federated job (ToyLearner arithmetic, raw codec,
+no timing in any compared dimension) with telemetry + health armed, so the
+resulting run directory can be diffed against the checked-in clean baseline
+with ``python -m repro.obs runs diff`` on the deterministic dimensions
+(``round_bytes``, ``final_metric``, ``alerts``).
+
+Usage::
+
+    python scripts/health_smoke.py --run-dir runs/health-smoke
+    python scripts/health_smoke.py --run-dir /tmp/dirty --diverge site-2
+    # regenerate the CI baseline:
+    python scripts/health_smoke.py --run-dir benchmarks/baselines/health-clean
+
+``--diverge SITE`` makes one site push hard against the cohort from round 1
+on, which must produce ``diverging-client`` alerts naming that site (and a
+nonzero ``runs diff`` verdict against the clean baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.flare import DXO, DataKind, FLJob, Learner, MetaKey, SimulatorRunner  # noqa: E402
+from repro.obs import HealthMonitor  # noqa: E402
+
+
+class ArithmeticLearner(Learner):
+    """Deterministic learner: adds +1 to every weight, no RNG, no clock."""
+
+    def __init__(self, site_name: str, diverge: bool = False) -> None:
+        super().__init__(name="ArithmeticLearner")
+        self.site_name = site_name
+        self.diverge = diverge
+
+    def train(self, dxo: DXO, fl_ctx) -> DXO:
+        round_number = int(fl_ctx.get_prop("current_round", 0))
+        if self.diverge:
+            data = {k: np.asarray(v) - 40.0 for k, v in dxo.data.items()}
+        else:
+            data = {k: np.asarray(v) + 1.0 for k, v in dxo.data.items()}
+        return DXO(DataKind.WEIGHTS, data=data,
+                   meta={MetaKey.NUM_STEPS_CURRENT_ROUND: 10,
+                         "train_loss": 1.0 / (1 + round_number)})
+
+    def validate(self, dxo: DXO, fl_ctx) -> dict[str, float]:
+        mean = float(np.mean([np.mean(np.asarray(v))
+                              for v in dxo.data.values()]))
+        return {"valid_acc": mean}
+
+
+def evaluator(weights: dict[str, np.ndarray]) -> dict[str, float]:
+    mean = float(np.mean([np.mean(np.asarray(v)) for v in weights.values()]))
+    return {"valid_acc": round(mean, 6)}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--run-dir", required=True)
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--diverge", default=None, metavar="SITE",
+                        help="make SITE (e.g. site-2) push against the cohort")
+    args = parser.parse_args(argv)
+
+    run_dir = Path(args.run_dir)
+    if run_dir.exists():
+        shutil.rmtree(run_dir)
+
+    weights = {"layer.weight": np.zeros((8, 8), dtype=np.float32),
+               "layer.bias": np.zeros(8, dtype=np.float32)}
+    job = FLJob(
+        name="health-smoke", initial_weights=weights,
+        learner_factory=lambda name: ArithmeticLearner(
+            name, diverge=(name == args.diverge)),
+        num_rounds=args.rounds, min_clients=2, evaluator=evaluator)
+    runner = SimulatorRunner(job, n_clients=args.clients, seed=0,
+                             run_dir=run_dir, telemetry=True,
+                             health=HealthMonitor(run_dir=run_dir))
+    result = runner.run()
+
+    print(f"run dir: {run_dir}")
+    print(f"rounds: {len(result.stats.rounds)}, "
+          f"final valid_acc: "
+          f"{result.stats.rounds[-1].global_metrics.get('valid_acc')}")
+    for alert in result.stats.alerts:
+        print(f"  alert: {alert.severity} {alert.detector} "
+              f"r{alert.round_number} {alert.client or '-'}")
+    if args.diverge:
+        flagged = {a.client for a in result.stats.alerts
+                   if a.detector == "diverging-client"}
+        if flagged != {args.diverge}:
+            print(f"error: expected diverging-client alerts naming "
+                  f"{args.diverge}, got {sorted(flagged)}")
+            return 1
+    summary = json.loads((run_dir / "stats.json").read_text())
+    assert summary["rounds"], "stats.json must hold the round records"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

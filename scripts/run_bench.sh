@@ -20,6 +20,9 @@
 #   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
 #   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
 #   BENCH_OUT     output path (default: BENCH_pr${BENCH_PR}.json in the repo root)
+#   BENCH_REGISTRY  run-registry root the report is registered under, so
+#                 `python -m repro.obs runs list|diff` sees it (default: runs;
+#                 set empty to skip registration)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +35,7 @@ fi
 BENCH_MODELS="${BENCH_MODELS:-bert-mini,lstm,bert}"
 BENCH_ROUNDS="${BENCH_ROUNDS:-3}"
 BENCH_OUT="${BENCH_OUT:-BENCH_pr${BENCH_PR}.json}"
+BENCH_REGISTRY="${BENCH_REGISTRY-runs}"
 
 WORK="$(mktemp -d)"
 BASE_TREE="$WORK/baseline"
@@ -209,3 +213,12 @@ for model, settings in federation_out.items():
                default=1.0)
     print(f"  wire {model}: best bytes/round reduction {best}x")
 EOF
+
+# Register the report in the run registry so it shows up in
+# `python -m repro.obs runs list` and can be diffed against other benches:
+#   python -m repro.obs runs diff bench-pr3 bench-pr4
+if [ -n "$BENCH_REGISTRY" ]; then
+    PYTHONPATH="src" python -m repro.obs runs register "$BENCH_OUT" \
+        --name "bench-pr${BENCH_PR}" --kind bench --root "$BENCH_REGISTRY" \
+        --note "baseline $BASELINE_REF"
+fi

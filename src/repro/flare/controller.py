@@ -15,6 +15,7 @@ import numpy as np
 
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
+from ..obs.health import HealthMonitor
 from .aggregators import Aggregator
 from .constants import DataKind, EventType, ReservedKey, ReturnCode, TaskName
 from .dxo import DXO, MetaKey
@@ -81,6 +82,13 @@ class ScatterAndGather(FLComponent):
         downlink deltas enabled — each round ships only a versioned diff of
         the global model to every site that acknowledged the previous one
         (sites with a stale or unknown model version get the full weights).
+    health:
+        Optional :class:`~repro.obs.health.HealthMonitor` evaluating every
+        round as it completes: per-client update diagnostics, anomaly
+        alerts (surfaced on ``RunStats.alerts`` and ``health.jsonl``), a
+        per-round status line through the console logger, and — when the
+        monitor's quarantine policy is armed — exclusion of persistently
+        diverging clients from aggregation for a few rounds.
     """
 
     def __init__(self, server: FLServer, client_names: list[str],
@@ -96,7 +104,8 @@ class ScatterAndGather(FLComponent):
                  result_timeout: float = 600.0,
                  max_failed_rounds: int = 0,
                  sampling_seed: int = 0,
-                 compression: CompressionConfig | None = None) -> None:
+                 compression: CompressionConfig | None = None,
+                 health: HealthMonitor | None = None) -> None:
         super().__init__(name="ScatterAndGather")
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -139,6 +148,7 @@ class ScatterAndGather(FLComponent):
         # round's delta that top-k truncation did not ship, carried into the
         # next round so every coordinate is eventually delivered.
         self._downlink_residual: dict[str, np.ndarray] = {}
+        self.health = health
         self.stats = RunStats()
 
     # ------------------------------------------------------------------
@@ -181,6 +191,12 @@ class ScatterAndGather(FLComponent):
 
         bytes_before = self.server.bus.delivered_bytes
         task, overrides = self._build_round_tasks(participants, round_number, fl_ctx)
+        if self.health is not None:
+            # Reference = exactly what this round broadcasts (post fp16/delta
+            # canonicalization), so client updates are measured against it.
+            self.health.begin_round(round_number, participants,
+                                    reference=self.global_weights)
+        broadcast_started = time.perf_counter()
         unreachable = self.server.broadcast_task(TaskName.TRAIN, task, participants,
                                                  overrides=overrides)
         if unreachable:
@@ -213,7 +229,19 @@ class ScatterAndGather(FLComponent):
             for result_filter in self.result_filters:
                 dxo = result_filter.process(dxo, fl_ctx)
             self.log_info("Contribution from %s received.", sender)
-            if self.aggregator.accept(dxo, sender, fl_ctx):
+            if self.health is not None:
+                self.health.record_update(
+                    sender, dxo.data, data_kind=dxo.data_kind, meta=dxo.meta,
+                    latency_seconds=time.perf_counter() - broadcast_started)
+            if self.health is not None and self.health.is_quarantined(
+                    sender, round_number):
+                # Responded fine but is serving a quarantine window: its
+                # diagnostics are recorded, its update is not aggregated and
+                # it is not counted toward quorum.
+                contributors.add(sender)
+                self.log_warning("client %s is quarantined; excluding its "
+                                 "update from aggregation", sender)
+            elif self.aggregator.accept(dxo, sender, fl_ctx):
                 accepted += 1
                 contributors.add(sender)
             record.client_records.append(ClientRoundRecord(
@@ -242,6 +270,7 @@ class ScatterAndGather(FLComponent):
             obs_metrics.histogram("federation.round_bytes",
                                   buckets=_BYTE_BUCKETS).observe(record.bytes_on_wire)
             self.stats.add_round(record)
+            self._finish_health_round(record)
             if self._under_quorum_streak > self.max_failed_rounds:
                 raise RuntimeError(
                     f"round {round_number}: only {accepted} usable results "
@@ -277,8 +306,26 @@ class ScatterAndGather(FLComponent):
         obs_metrics.histogram("federation.round_bytes",
                               buckets=_BYTE_BUCKETS).observe(record.bytes_on_wire)
         self.stats.add_round(record)
+        self._finish_health_round(record)
         self.log_info("Round %d finished.", round_number)
         self.fire_event(EventType.ROUND_DONE, fl_ctx)
+
+    # ------------------------------------------------------------------
+    def _finish_health_round(self, record: RoundRecord) -> None:
+        """Close the health monitor's round and surface its verdicts."""
+        if self.health is None:
+            return
+        round_health, alerts = self.health.end_round(
+            seconds=record.seconds,
+            bytes_on_wire=record.bytes_on_wire,
+            quorum_met=record.quorum_met,
+            global_metrics=record.global_metrics,
+            # Under quorum the global model did not move; passing no new
+            # global keeps the aggregate-update norm/cosines undefined.
+            new_global=self.global_weights if record.quorum_met else None)
+        record.quarantined_clients = list(round_health.quarantined)
+        self.stats.alerts.extend(alerts)
+        self.log_info("%s", self.health.status_line(round_health, alerts))
 
     # ------------------------------------------------------------------
     # downlink payload construction

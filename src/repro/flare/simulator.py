@@ -17,6 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.health import HealthMonitor
 from ..obs.session import TelemetrySession
 from . import codec as wire_codec_module
 from .client import FederatedClient
@@ -58,6 +59,7 @@ class SimulatorRunner:
                  max_parallel: int = 2,
                  fault_plan: FaultPlan | None = None,
                  telemetry: bool = False,
+                 health: bool | HealthMonitor = False,
                  compression: CompressionConfig | str | None = None,
                  wire_codec: str | None = None) -> None:
         if n_clients <= 0:
@@ -76,6 +78,11 @@ class SimulatorRunner:
         # metrics.json / trace.jsonl / profile.json under run_dir (pointers
         # land in stats.telemetry).
         self.telemetry = telemetry
+        # Live health monitoring: per-client drift diagnostics + anomaly
+        # alerts per round, written to run_dir/health.jsonl and surfaced on
+        # stats.alerts.  ``True`` uses the default detector set (quarantine
+        # off); pass a HealthMonitor to configure detectors/quarantine.
+        self.health = health
         # Wire-efficiency knobs: ``compression`` ("delta+fp16", a
         # CompressionConfig, or None; overrides job.compression) turns on
         # the whole delta/quantize/sparsify chain on both sides, and
@@ -97,23 +104,32 @@ class SimulatorRunner:
     def run(self) -> SimulationResult:
         """Provision, register, train, tear down."""
         capture = LogCapture().attach() if self.capture_log else None
-        session = (TelemetrySession(self.run_dir).start()
+        if isinstance(self.health, HealthMonitor):
+            monitor: HealthMonitor | None = self.health
+        elif self.health:
+            monitor = HealthMonitor(run_dir=self.run_dir)
+        else:
+            monitor = None
+        session = (TelemetrySession(self.run_dir, health=monitor or False).start()
                    if self.telemetry else None)
         previous_codec = (set_wire_codec(self.wire_codec)
                           if self.wire_codec is not None else None)
         try:
-            return self._run_inner(capture, session)
+            return self._run_inner(capture, session, monitor)
         finally:
             if previous_codec is not None:
                 set_wire_codec(previous_codec)
             if session is not None:
-                session.stop()
+                session.stop()  # finalizes the health artifact too
+            elif monitor is not None:
+                monitor.finalize()
             if capture is not None:
                 capture.detach()
 
     # ------------------------------------------------------------------
     def _run_inner(self, capture: LogCapture | None,
-                   session: TelemetrySession | None = None) -> SimulationResult:
+                   session: TelemetrySession | None = None,
+                   monitor: HealthMonitor | None = None) -> SimulationResult:
         project = default_project(n_clients=self.n_clients, name=self.job.name)
         provisioner = Provisioner(project, seed=self.seed, key_bits=self.key_bits)
         kits = provisioner.provision()
@@ -163,6 +179,7 @@ class SimulatorRunner:
             result_timeout=self.job.result_timeout,
             max_failed_rounds=self.job.max_failed_rounds,
             compression=self.compression,
+            health=monitor,
         )
         wire_before = wire_codec_module.wire_totals()
 
@@ -208,6 +225,12 @@ class SimulatorRunner:
                 session.registry.merge(bus.metrics)
                 session.registry.merge(wire_codec_module.wire_metrics)
             stats.telemetry = session.artifact_paths()
+        elif monitor is not None and monitor.health_path is not None:
+            stats.telemetry = {"health": str(monitor.health_path)}
+        if session is not None or monitor is not None:
+            # Registry fodder: a run dir with stats.json + health.jsonl is
+            # self-describing for ``python -m repro.obs runs list/diff``.
+            stats.save_json(self.run_dir / "stats.json")
         try:
             best_weights = persistor.load_best()
         except FileNotFoundError:

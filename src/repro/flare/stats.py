@@ -13,6 +13,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs.health import Alert
+
 __all__ = ["ClientRoundRecord", "RoundRecord", "RunStats"]
 
 
@@ -43,6 +45,9 @@ class RoundRecord:
     dropped_clients: list[str] = field(default_factory=list)
     # False when the round finished under quorum and aggregation was skipped.
     quorum_met: bool = True
+    # Sites excluded from aggregation this round by the health monitor's
+    # quarantine policy (they still trained and were still diagnosed).
+    quarantined_clients: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -63,8 +68,12 @@ class RunStats:
     wire_bytes_raw: int = 0
     wire_bytes_encoded: int = 0
     # Paths of the telemetry artifacts a TelemetrySession wrote for this run
-    # (keys "metrics"/"trace"/"profile"), empty when telemetry was off.
+    # (keys "metrics"/"trace"/"profile"/"health"), empty when telemetry was
+    # off.
     telemetry: dict[str, str] = field(default_factory=dict)
+    # Severity-ranked anomaly verdicts from the health monitor, in round
+    # order (empty when health monitoring was off).
+    alerts: list[Alert] = field(default_factory=list)
 
     def add_round(self, record: RoundRecord) -> None:
         self.rounds.append(record)
@@ -78,6 +87,12 @@ class RunStats:
         """Every site that missed at least one round, sorted."""
         return sorted({client for record in self.rounds
                        for client in record.dropped_clients})
+
+    @property
+    def quarantined_clients(self) -> list[str]:
+        """Every site the health monitor quarantined at least once, sorted."""
+        return sorted({client for record in self.rounds
+                       for client in record.quarantined_clients})
 
     @property
     def failed_rounds(self) -> int:
@@ -139,6 +154,8 @@ class RunStats:
         }
         if self.telemetry:
             payload["telemetry"] = dict(self.telemetry)
+        if self.alerts:
+            payload["alerts"] = [alert.to_dict() for alert in self.alerts]
         return payload
 
     def save_json(self, path: str | Path) -> Path:
@@ -156,7 +173,9 @@ class RunStats:
                     duplicates_dropped=payload.get("duplicates_dropped", 0),
                     wire_bytes_raw=payload.get("wire_bytes_raw", 0),
                     wire_bytes_encoded=payload.get("wire_bytes_encoded", 0),
-                    telemetry=dict(payload.get("telemetry", {})))
+                    telemetry=dict(payload.get("telemetry", {})),
+                    alerts=[Alert.from_dict(a)
+                            for a in payload.get("alerts", [])])
         for round_payload in payload.get("rounds", []):
             clients = [ClientRoundRecord(**c)
                        for c in round_payload.get("client_records", [])]
@@ -167,5 +186,7 @@ class RunStats:
                 seconds=round_payload.get("seconds", 0.0),
                 bytes_on_wire=round_payload.get("bytes_on_wire", 0),
                 dropped_clients=list(round_payload.get("dropped_clients", [])),
-                quorum_met=round_payload.get("quorum_met", True)))
+                quorum_met=round_payload.get("quorum_met", True),
+                quarantined_clients=list(
+                    round_payload.get("quarantined_clients", []))))
         return stats

@@ -12,6 +12,12 @@ The instrument panel every other subsystem reports into:
 - :mod:`repro.obs.session` — :class:`TelemetrySession`, the one switch that
   arms all three and writes ``metrics.json`` / ``trace.jsonl`` /
   ``profile.json`` under a run directory.
+- :mod:`repro.obs.health` — :class:`HealthMonitor` + pluggable anomaly
+  :class:`Detector` rules: per-client drift diagnostics, severity-ranked
+  :class:`Alert` events and optional quarantine, streamed to
+  ``health.jsonl``.
+- :mod:`repro.obs.registry` — the run registry and run-over-run comparison
+  behind ``python -m repro.obs runs list|show|diff``.
 - :mod:`repro.obs.report` — the run-report renderer behind
   ``python -m repro.obs report <run_dir>``.
 
@@ -19,6 +25,17 @@ See ``docs/OBSERVABILITY.md`` for the full API and artifact schemas.
 """
 
 from . import metrics, trace
+from .health import (
+    Alert,
+    Detector,
+    DivergingClientDetector,
+    HealthMonitor,
+    NonFiniteUpdateDetector,
+    StalledConvergenceDetector,
+    StragglerDetector,
+    WireBlowupDetector,
+    default_detectors,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -29,6 +46,7 @@ from .metrics import (
     set_registry,
 )
 from .profiler import OpProfiler, get_profiler
+from .registry import RunRegistry, diff_runs, summarize_run
 from .report import render_report
 from .session import TelemetrySession
 from .trace import Span, Tracer, get_tracer, set_tracer, span
@@ -40,4 +58,8 @@ __all__ = [
     "Tracer", "Span", "span", "get_tracer", "set_tracer",
     "OpProfiler", "get_profiler",
     "TelemetrySession", "render_report",
+    "HealthMonitor", "Alert", "Detector", "default_detectors",
+    "NonFiniteUpdateDetector", "DivergingClientDetector", "StragglerDetector",
+    "StalledConvergenceDetector", "WireBlowupDetector",
+    "RunRegistry", "summarize_run", "diff_runs",
 ]

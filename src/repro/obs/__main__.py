@@ -1,4 +1,4 @@
-"""Entry point: ``python -m repro.obs report <run_dir>``."""
+"""Entry point: ``python -m repro.obs report|runs ...``."""
 
 from __future__ import annotations
 

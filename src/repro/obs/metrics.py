@@ -30,7 +30,7 @@ from pathlib import Path
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "DEFAULT_BUCKETS", "get_registry", "set_registry",
+    "DEFAULT_BUCKETS", "EXACT_SAMPLE_LIMIT", "get_registry", "set_registry",
     "counter", "gauge", "histogram",
 ]
 
@@ -94,17 +94,26 @@ class Gauge:
         return {"name": self.name, "tags": dict(self.tags), "value": self._value}
 
 
+# Up to this many observations a histogram also keeps the raw samples, so
+# small-sample percentiles are exact (p50 of one observation IS that
+# observation) instead of bucket-bound estimates.  Beyond it the reservoir
+# is dropped and percentiles fall back to bucket interpolation.
+EXACT_SAMPLE_LIMIT = 64
+
+
 class Histogram:
     """Fixed-bucket distribution with interpolated percentiles.
 
     ``buckets`` are inclusive upper bounds; observations above the last
-    bound land in an implicit overflow bucket.  ``percentile`` assumes a
-    uniform spread inside each bucket (the standard Prometheus estimate),
-    clamped by the exact observed min/max.
+    bound land in an implicit overflow bucket.  Up to
+    :data:`EXACT_SAMPLE_LIMIT` observations the raw values are retained and
+    percentiles are exact; past that, ``percentile`` assumes a uniform
+    spread inside each bucket (the standard Prometheus estimate), clamped
+    by the exact observed min/max.
     """
 
     __slots__ = ("name", "tags", "buckets", "_counts", "_count", "_sum",
-                 "_min", "_max", "_lock")
+                 "_min", "_max", "_samples", "_lock")
 
     def __init__(self, name: str, tags: dict[str, str], lock: threading.Lock,
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -118,6 +127,7 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._samples: list[float] | None = []
         self._lock = lock
 
     def observe(self, value: float) -> None:
@@ -135,6 +145,11 @@ class Histogram:
                 self._min = value
             if value > self._max:
                 self._max = value
+            if self._samples is not None:
+                if self._count <= EXACT_SAMPLE_LIMIT:
+                    self._samples.append(value)
+                else:
+                    self._samples = None
 
     @property
     def count(self) -> int:
@@ -157,11 +172,22 @@ class Histogram:
         return self._max if self._count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Estimated ``p``-th percentile (``p`` in [0, 100])."""
+        """The ``p``-th percentile (``p`` in [0, 100]).
+
+        Exact (linear interpolation between order statistics, numpy's
+        default method) while the raw-sample reservoir is alive; a bucket
+        estimate afterwards.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self._count == 0:
             return 0.0
+        if self._samples is not None and len(self._samples) == self._count:
+            ordered = sorted(self._samples)
+            rank = (p / 100.0) * (len(ordered) - 1)
+            low = int(rank)
+            high = min(low + 1, len(ordered) - 1)
+            return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
         rank = (p / 100.0) * self._count
         cumulative = 0
         for i, bucket_count in enumerate(self._counts):
@@ -301,6 +327,13 @@ class MetricsRegistry:
                 dst._sum += src._sum
                 dst._min = min(dst._min, src._min)
                 dst._max = max(dst._max, src._max)
+                # keep exact percentiles when both reservoirs fit
+                if dst._samples is not None and src._samples is not None \
+                        and len(dst._samples) + len(src._samples) \
+                        <= EXACT_SAMPLE_LIMIT:
+                    dst._samples = dst._samples + list(src._samples)
+                else:
+                    dst._samples = None
 
     # ------------------------------------------------------------------
     # export

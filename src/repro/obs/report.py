@@ -1,12 +1,14 @@
 """Run-report renderer: ``python -m repro.obs report <run_dir>``.
 
-Reads the three artifacts a :class:`~repro.obs.session.TelemetrySession`
-writes (``metrics.json``, ``trace.jsonl``, ``profile.json``) and renders a
-plain-text report: counters/gauges, latency histograms with percentiles, a
-span tree aggregated by call path (flamegraph-style, widest first) and the
-per-autograd-op profile table.  Missing artifacts are skipped with a note,
-so the report works on partial telemetry (e.g. metrics-only runs) and on
-``BENCH_*.json`` files that embed the metrics schema.
+Reads the artifacts a :class:`~repro.obs.session.TelemetrySession` writes
+(``metrics.json``, ``trace.jsonl``, ``profile.json``, ``health.jsonl``) and
+renders a plain-text report: counters/gauges, latency histograms with
+percentiles, a span tree aggregated by call path (flamegraph-style, widest
+first), the per-autograd-op profile table and the health-alert digest.
+
+The report never crashes on a partial run: artifacts that are missing,
+truncated mid-line (aborted run) or malformed are skipped with a note, and
+the footer lists exactly which artifacts were absent or unreadable.
 """
 
 from __future__ import annotations
@@ -17,7 +19,10 @@ from pathlib import Path
 from .session import METRICS_FILE, PROFILE_FILE, TRACE_FILE
 
 __all__ = ["render_report", "render_metrics", "render_trace",
-           "render_profile", "main"]
+           "render_profile", "render_health", "load_trace", "load_health",
+           "main"]
+
+HEALTH_FILE = "health.jsonl"
 
 
 def _fmt_seconds(value: float) -> str:
@@ -179,15 +184,69 @@ def render_profile(payload: dict) -> str:
 
 
 # ---------------------------------------------------------------------------
+# health
+# ---------------------------------------------------------------------------
+def load_health(path: Path) -> list[dict]:
+    """Parse a health.jsonl file, skipping the header and truncated lines.
+
+    An aborted run leaves a half-written final line; that line is dropped
+    rather than failing the whole report.
+    """
+    records = []
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated tail of an aborted run
+        if "event" in record:
+            records.append(record)
+    return records
+
+
+def render_health(records: list[dict]) -> str:
+    """Render parsed health.jsonl events: round digest + alert table."""
+    lines = ["== health =="]
+    rounds = [r for r in records if r.get("event") == "round"]
+    alerts = [r for r in records if r.get("event") == "alert"]
+    if not rounds and not alerts:
+        return "\n".join(lines + ["(no health events recorded)"])
+    quarantined: set[str] = set()
+    for record in rounds:
+        quarantined.update(record.get("quarantined", []))
+    counts: dict[str, int] = {}
+    for alert in alerts:
+        counts[alert.get("severity", "info")] = \
+            counts.get(alert.get("severity", "info"), 0) + 1
+    summary = ", ".join(f"{counts.get(s, 0)} {s}"
+                        for s in ("critical", "warning", "info"))
+    lines.append(f"{len(rounds)} round(s) monitored, alerts: {summary}")
+    if quarantined:
+        lines.append("quarantined clients: " + ", ".join(sorted(quarantined)))
+    if alerts:
+        rows = [[a.get("detector", "?"), a.get("severity", "?"),
+                 str(a.get("round_number", "?")), a.get("client") or "-",
+                 a.get("message", "")]
+                for a in alerts]
+        lines += [""] + _table(rows, ["detector", "severity", "round",
+                                      "client", "message"])
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # whole-run report
 # ---------------------------------------------------------------------------
 def load_trace(path: Path) -> list[dict]:
-    """Parse a trace.jsonl file, skipping the schema header line."""
+    """Parse a trace.jsonl file, skipping the header and truncated lines."""
     spans = []
     for line in path.read_text().splitlines():
         if not line.strip():
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated tail of an aborted run
         if "schema" in record and "span_id" not in record:
             continue
         spans.append(record)
@@ -195,52 +254,68 @@ def load_trace(path: Path) -> list[dict]:
 
 
 def render_report(run_dir: str | Path) -> str:
-    """The full text report for one telemetry-enabled run directory."""
+    """The full text report for one telemetry-enabled run directory.
+
+    Every artifact is optional: missing or unreadable ones are noted in
+    place and listed in the footer instead of aborting the report.
+    """
     run_dir = Path(run_dir)
     if not run_dir.exists():
         raise FileNotFoundError(f"run directory {run_dir} does not exist")
     sections = [f"telemetry report: {run_dir}"]
+    absent: list[str] = []
     found = 0
 
-    metrics_path = run_dir / METRICS_FILE
-    if metrics_path.exists():
-        sections.append(render_metrics(json.loads(metrics_path.read_text())))
+    def section(title: str, path: Path, loader, renderer) -> None:
+        nonlocal found
+        if not path.exists():
+            absent.append(path.name)
+            sections.append(f"== {title} ==\n({path.name} not found)")
+            return
+        try:
+            payload = loader(path)
+        except (OSError, json.JSONDecodeError) as error:
+            absent.append(f"{path.name} (unreadable)")
+            sections.append(f"== {title} ==\n({path.name} unreadable: {error})")
+            return
+        sections.append(renderer(payload))
         found += 1
-    else:
-        sections.append(f"== metrics ==\n({metrics_path.name} not found)")
 
-    trace_path = run_dir / TRACE_FILE
-    if trace_path.exists():
-        sections.append(render_trace(load_trace(trace_path)))
-        found += 1
-    else:
-        sections.append(f"== trace ==\n({trace_path.name} not found)")
-
-    profile_path = run_dir / PROFILE_FILE
-    if profile_path.exists():
-        sections.append(render_profile(json.loads(profile_path.read_text())))
-        found += 1
-    else:
-        sections.append(f"== autograd profile ==\n({profile_path.name} not found)")
+    section("metrics", run_dir / METRICS_FILE,
+            lambda p: json.loads(p.read_text()), render_metrics)
+    section("trace", run_dir / TRACE_FILE, load_trace, render_trace)
+    section("autograd profile", run_dir / PROFILE_FILE,
+            lambda p: json.loads(p.read_text()), render_profile)
+    section("health", run_dir / HEALTH_FILE, load_health, render_health)
 
     if found == 0:
         raise FileNotFoundError(
             f"no telemetry artifacts in {run_dir} (expected {METRICS_FILE}, "
-            f"{TRACE_FILE} or {PROFILE_FILE}; run with telemetry enabled)")
+            f"{TRACE_FILE}, {PROFILE_FILE} or {HEALTH_FILE}; run with "
+            f"telemetry enabled)")
+    if absent:
+        sections.append("absent artifacts: " + ", ".join(absent))
     return "\n\n".join(sections)
 
 
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
+    from .registry import add_runs_parser, run_runs_command
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Render telemetry artifacts written by a TelemetrySession.")
+        description="Render telemetry artifacts written by a TelemetrySession "
+                    "and compare runs via the run registry.")
     sub = parser.add_subparsers(dest="command", required=True)
     report = sub.add_parser("report", help="render a run directory's telemetry")
     report.add_argument("run_dir", help="directory holding metrics.json / "
-                                        "trace.jsonl / profile.json")
+                                        "trace.jsonl / profile.json / "
+                                        "health.jsonl")
+    add_runs_parser(sub)
     args = parser.parse_args(argv)
+    if args.command == "runs":
+        return run_runs_command(args)
     try:
         print(render_report(args.run_dir))
     except FileNotFoundError as error:

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from . import metrics as _metrics
 from . import trace as _trace
+from .health import HealthMonitor
 from .metrics import MetricsRegistry
 from .profiler import OpProfiler
 from .trace import Tracer
@@ -40,14 +41,24 @@ class TelemetrySession:
         Individually disable a subsystem (all on by default).  A disabled
         subsystem writes no artifact and its pointer is absent from
         :meth:`artifact_paths`.
+    health:
+        Off by default.  ``True`` arms a :class:`HealthMonitor` writing
+        ``health.jsonl`` under the run dir; pass a pre-configured monitor
+        to control detectors/quarantine.  The session only owns the
+        artifact pointer — whoever runs the federation (the controller via
+        ``SimulatorRunner``) drives the monitor round by round.
     """
 
     def __init__(self, run_dir: str | Path, metrics: bool = True,
-                 trace: bool = True, profile: bool = True) -> None:
+                 trace: bool = True, profile: bool = True,
+                 health: bool | HealthMonitor = False) -> None:
         self.run_dir = Path(run_dir)
         self.registry: MetricsRegistry | None = MetricsRegistry() if metrics else None
         self.tracer: Tracer | None = Tracer() if trace else None
         self.profiler: OpProfiler | None = OpProfiler() if profile else None
+        if health is True:
+            health = HealthMonitor(run_dir=self.run_dir)
+        self.health: HealthMonitor | None = health or None
         self._previous_registry: MetricsRegistry | None = None
         self._previous_tracer: Tracer | None = None
         self._active = False
@@ -62,6 +73,8 @@ class TelemetrySession:
             paths["trace"] = str(self.run_dir / TRACE_FILE)
         if self.profiler is not None:
             paths["profile"] = str(self.run_dir / PROFILE_FILE)
+        if self.health is not None and self.health.health_path is not None:
+            paths["health"] = str(self.health.health_path)
         return paths
 
     # ------------------------------------------------------------------
@@ -96,6 +109,8 @@ class TelemetrySession:
             self.tracer.export_jsonl(self.run_dir / TRACE_FILE)
         if self.profiler is not None:
             self.profiler.save_json(self.run_dir / PROFILE_FILE)
+        if self.health is not None:
+            self.health.finalize()
         return self.artifact_paths()
 
     def __enter__(self) -> "TelemetrySession":

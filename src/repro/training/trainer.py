@@ -12,6 +12,7 @@ import time
 import numpy as np
 
 from ..autograd import Adam, Module, clip_grad_norm, functional as F, no_grad
+from ..autograd.clip import grad_global_norm
 from ..data import IGNORE_INDEX, ClassificationDataset, MlmCollator, SequenceDataset
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -47,12 +48,28 @@ class TrainConfig:
         self.early_stopping_patience = early_stopping_patience
 
 
-def _step(model: Module, optimizer: Adam, loss, max_grad_norm: float | None) -> None:
+# Gradient norms live on a very different scale from the registry's default
+# seconds buckets.
+_GRAD_NORM_BUCKETS: tuple[float, ...] = tuple(10.0 ** e for e in range(-4, 7))
+
+
+def _step(model: Module, optimizer: Adam, loss, max_grad_norm: float | None) -> float:
+    """One optimizer step; returns the pre-clipping global gradient norm.
+
+    When clipping is off the norm is only computed while a telemetry
+    registry is armed — the extra full-gradient reduction must not tax
+    un-instrumented runs.
+    """
     model.zero_grad()
     loss.backward()
     if max_grad_norm is not None:
-        clip_grad_norm(model.parameters(), max_grad_norm)
+        norm = clip_grad_norm(model.parameters(), max_grad_norm)
+    elif obs_metrics.get_registry().enabled:
+        norm = grad_global_norm(model.parameters())
+    else:
+        norm = 0.0
     optimizer.step()
+    return norm
 
 
 def train_classifier(model: Module, dataset: ClassificationDataset,
@@ -73,6 +90,11 @@ def train_classifier(model: Module, dataset: ClassificationDataset,
     stale_epochs = 0
     step_hist = obs_metrics.histogram("train.step_seconds", objective="classifier")
     token_counter = obs_metrics.counter("train.tokens", objective="classifier")
+    grad_hist = obs_metrics.histogram("train.grad_norm",
+                                      buckets=_GRAD_NORM_BUCKETS,
+                                      objective="classifier")
+    nonfinite_counter = obs_metrics.counter("train.nonfinite_steps",
+                                            objective="classifier")
     for epoch in range(config.epochs):
         started = time.perf_counter()
         model.train()
@@ -88,15 +110,20 @@ def train_classifier(model: Module, dataset: ClassificationDataset,
                                            class_weights=config.class_weights)
                     if regularizer is not None:
                         loss = loss + regularizer(model)
-                    _step(model, optimizer, loss, config.max_grad_norm)
+                    grad_norm = _step(model, optimizer, loss, config.max_grad_norm)
                 step_hist.observe(time.perf_counter() - step_started)
+                grad_hist.observe(grad_norm)
                 tokens += int(ids.size)
-                averager.update(loss.item(), weight=len(labels))
+                loss_value = loss.item()
+                if not np.isfinite(loss_value) or not np.isfinite(grad_norm):
+                    nonfinite_counter.inc()
+                averager.update(loss_value, weight=len(labels))
         elapsed = time.perf_counter() - started
         token_counter.inc(tokens)
         if elapsed > 0:
             obs_metrics.gauge("train.tokens_per_sec",
                               objective="classifier").set(tokens / elapsed)
+        obs_metrics.gauge("train.loss", objective="classifier").set(averager.average)
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
                                seconds=elapsed)
         if valid is not None and len(valid):
@@ -142,6 +169,11 @@ def train_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
     history: list[EpochMetrics] = []
     step_hist = obs_metrics.histogram("train.step_seconds", objective="mlm")
     token_counter = obs_metrics.counter("train.tokens", objective="mlm")
+    grad_hist = obs_metrics.histogram("train.grad_norm",
+                                      buckets=_GRAD_NORM_BUCKETS,
+                                      objective="mlm")
+    nonfinite_counter = obs_metrics.counter("train.nonfinite_steps",
+                                            objective="mlm")
     for epoch in range(config.epochs):
         started = time.perf_counter()
         model.train()
@@ -160,15 +192,20 @@ def train_mlm(model: Module, dataset: SequenceDataset, collator: MlmCollator,
                     # fused cross_entropy flattens (batch, seq, vocab) internally
                     loss = F.cross_entropy(logits, example.labels.reshape(-1),
                                            ignore_index=IGNORE_INDEX)
-                    _step(model, optimizer, loss, config.max_grad_norm)
+                    grad_norm = _step(model, optimizer, loss, config.max_grad_norm)
                 step_hist.observe(time.perf_counter() - step_started)
+                grad_hist.observe(grad_norm)
                 tokens += int(ids.size)
-                averager.update(loss.item(), weight=n_targets)
+                loss_value = loss.item()
+                if not np.isfinite(loss_value) or not np.isfinite(grad_norm):
+                    nonfinite_counter.inc()
+                averager.update(loss_value, weight=n_targets)
         elapsed = time.perf_counter() - started
         token_counter.inc(tokens)
         if elapsed > 0:
             obs_metrics.gauge("train.tokens_per_sec",
                               objective="mlm").set(tokens / elapsed)
+        obs_metrics.gauge("train.loss", objective="mlm").set(averager.average)
         metrics = EpochMetrics(epoch=epoch, train_loss=averager.average,
                                seconds=elapsed)
         if valid is not None and len(valid):

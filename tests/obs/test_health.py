@@ -1,0 +1,290 @@
+"""HealthMonitor + detectors: diagnostics, alerts, quarantine, artifacts."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.health import (
+    Alert,
+    DivergingClientDetector,
+    HealthMonitor,
+    NonFiniteUpdateDetector,
+    RoundHealth,
+    StalledConvergenceDetector,
+    StragglerDetector,
+    WireBlowupDetector,
+    default_detectors,
+)
+
+
+def weights(value: float = 0.0) -> dict[str, np.ndarray]:
+    return {"w": np.full((4, 4), value, dtype=np.float32),
+            "b": np.full(4, value, dtype=np.float32)}
+
+
+def run_round(monitor: HealthMonitor, round_number: int,
+              updates: dict[str, float], *, base: float = 0.0,
+              new_global: float | None = None, seconds: float = 0.1,
+              bytes_on_wire: int = 1000, metrics: dict | None = None,
+              latencies: dict[str, float] | None = None):
+    """One synthetic round: every client adds ``updates[name]`` to the base."""
+    reference = weights(base)
+    monitor.begin_round(round_number, sorted(updates), reference=reference)
+    for name, delta in updates.items():
+        monitor.record_update(
+            name, weights(base + delta),
+            latency_seconds=(latencies or {}).get(name, 0.01))
+    mean = float(np.mean(list(updates.values()))) \
+        if new_global is None else new_global
+    return monitor.end_round(seconds=seconds, bytes_on_wire=bytes_on_wire,
+                             global_metrics=metrics or {},
+                             new_global=weights(base + mean))
+
+
+class TestAlert:
+    def test_round_trips_through_dict(self):
+        alert = Alert(detector="d", severity="warning", round_number=3,
+                      message="m", client="site-1", value=1.5)
+        assert Alert.from_dict(alert.to_dict()) == alert
+
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Alert(detector="d", severity="fatal", round_number=0, message="m")
+
+
+class TestDiagnostics:
+    def test_update_norm_is_exact(self):
+        monitor = HealthMonitor()
+        monitor.begin_round(0, ["a"], reference=weights(0.0))
+        health = monitor.record_update("a", weights(2.0))
+        # 20 coordinates all moved by 2.0
+        assert health.update_norm == pytest.approx(math.sqrt(20 * 4.0))
+        assert health.update_max_abs == pytest.approx(2.0)
+
+    def test_weight_diff_payload_is_the_update(self):
+        monitor = HealthMonitor()
+        monitor.begin_round(0, ["a"], reference=weights(5.0))
+        health = monitor.record_update("a", weights(3.0),
+                                       data_kind="WEIGHT_DIFF")
+        assert health.update_norm == pytest.approx(math.sqrt(20 * 9.0))
+
+    def test_cosine_sign_tracks_direction(self):
+        monitor = HealthMonitor()
+        _, _ = run_round(monitor, 0, {"good": 1.0, "also": 1.0, "bad": -1.0})
+        clients = monitor.history[0].clients
+        assert clients["good"].cosine_to_peers == pytest.approx(1.0)
+        assert clients["bad"].cosine_to_peers == pytest.approx(-1.0)
+
+    def test_peer_consensus_resists_dominant_outlier(self):
+        # One huge bad update drags the aggregate direction with it, so the
+        # aggregate cosine would blame the honest clients; the coordinate-
+        # median consensus must still point with the honest majority.
+        monitor = HealthMonitor()
+        run_round(monitor, 0, {"h1": 1.0, "h2": 1.0, "h3": 1.0, "bad": -500.0})
+        clients = monitor.history[0].clients
+        assert clients["h1"].cosine_to_peers == pytest.approx(1.0)
+        assert clients["bad"].cosine_to_peers == pytest.approx(-1.0)
+        # and the aggregate-direction diagnostic indeed has the inversion
+        assert clients["h1"].cosine_to_global < 0
+
+    def test_staleness_counts_missed_rounds(self):
+        monitor = HealthMonitor()
+        run_round(monitor, 0, {"a": 1.0, "b": 1.0})
+        run_round(monitor, 1, {"a": 1.0})
+        third, _ = run_round(monitor, 2, {"a": 1.0, "b": 1.0})
+        assert third.clients["b"].staleness == 2
+        assert third.clients["a"].staleness == 1
+
+    def test_sketch_is_deterministic_and_bounded(self):
+        monitor = HealthMonitor(sample_size=8)
+        big = {"w": np.arange(1000, dtype=np.float64)}
+        first = monitor._sample_update(big)
+        second = monitor._sample_update(big)
+        assert first.size <= 8
+        np.testing.assert_array_equal(first, second)
+
+
+class TestDetectors:
+    def test_nan_update_is_critical(self):
+        detector = NonFiniteUpdateDetector()
+        current = RoundHealth(round_number=0)
+        run_round_monitor = HealthMonitor(detectors=[detector])
+        run_round_monitor.begin_round(0, ["a"], reference=weights(0.0))
+        bad = weights(0.0)
+        bad["w"][0, 0] = np.nan
+        run_round_monitor.record_update("a", bad)
+        _, alerts = run_round_monitor.end_round()
+        assert [a.severity for a in alerts] == ["critical"]
+        assert alerts[0].detector == "nan-update"
+        assert alerts[0].client == "a"
+
+    def test_exploding_norm_is_critical(self):
+        monitor = HealthMonitor(detectors=[NonFiniteUpdateDetector(max_norm=10.0)])
+        _, alerts = run_round(monitor, 0, {"a": 100.0})
+        assert alerts and alerts[0].detector == "nan-update"
+
+    def test_diverging_cosine_escalates_to_critical(self):
+        monitor = HealthMonitor(detectors=[DivergingClientDetector(persist=2)])
+        _, first = run_round(monitor, 0, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        _, second = run_round(monitor, 1, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        assert [a.client for a in first] == ["bad"]
+        assert first[0].severity == "warning"
+        assert second[0].severity == "critical"
+        assert second[0].round_number == 1
+
+    def test_honest_clients_not_flagged(self):
+        monitor = HealthMonitor(detectors=[DivergingClientDetector()])
+        for r in range(3):
+            _, alerts = run_round(
+                monitor, r, {"g1": 1.0, "g2": 1.0, "g3": 1.0, "bad": -500.0})
+            assert {a.client for a in alerts} == {"bad"}
+
+    def test_straggler_uses_latency(self):
+        monitor = HealthMonitor(detectors=[StragglerDetector(ratio=3.0)])
+        _, alerts = run_round(
+            monitor, 0, {"a": 1.0, "b": 1.0, "c": 1.0, "slow": 1.0},
+            latencies={"a": 0.1, "b": 0.1, "c": 0.1, "slow": 1.0})
+        assert [a.client for a in alerts] == ["slow"]
+        assert "straggling" in alerts[0].message
+
+    def test_stalled_convergence_fires_after_patience(self):
+        monitor = HealthMonitor(
+            detectors=[StalledConvergenceDetector(patience=2)])
+        alerts_seen = []
+        accs = [0.5, 0.6, 0.6, 0.6, 0.6]
+        for r, acc in enumerate(accs):
+            _, alerts = run_round(monitor, r, {"a": 1.0},
+                                  metrics={"valid_acc": acc})
+            alerts_seen.append(alerts)
+        assert not alerts_seen[1] and not alerts_seen[2]
+        assert alerts_seen[3] and alerts_seen[3][0].detector == "stalled-convergence"
+        # re-alerts only every `patience` rounds while still stalled
+        assert not alerts_seen[4]
+
+    def test_wire_blowup(self):
+        monitor = HealthMonitor(detectors=[WireBlowupDetector(min_history=2)])
+        for r in range(3):
+            _, alerts = run_round(monitor, r, {"a": 1.0}, bytes_on_wire=1000)
+            assert not alerts
+        _, alerts = run_round(monitor, 3, {"a": 1.0}, bytes_on_wire=10_000)
+        assert alerts and alerts[0].detector == "wire-blowup"
+
+    def test_broken_detector_degrades_to_info_alert(self):
+        class Exploding(DivergingClientDetector):
+            name = "boom"
+
+            def observe(self, current, history):
+                raise RuntimeError("bug in rule")
+
+        monitor = HealthMonitor(detectors=[Exploding()])
+        _, alerts = run_round(monitor, 0, {"a": 1.0})
+        assert [a.severity for a in alerts] == ["info"]
+        assert "boom" in alerts[0].message or alerts[0].detector == "boom"
+
+    def test_default_detector_names_unique(self):
+        names = [d.name for d in default_detectors()]
+        assert len(names) == len(set(names)) == 5
+
+
+class TestQuarantine:
+    def make(self, tmp_path):
+        return HealthMonitor(run_dir=tmp_path,
+                             detectors=[DivergingClientDetector(persist=2)],
+                             quarantine_after=2, quarantine_rounds=2)
+
+    def test_lifecycle(self, tmp_path):
+        monitor = self.make(tmp_path)
+        run_round(monitor, 0, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        _, alerts = run_round(monitor, 1, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        assert any(a.detector == "quarantine" and a.severity == "critical"
+                   for a in alerts)
+        assert monitor.is_quarantined("bad", 2)
+        assert monitor.is_quarantined("bad", 3)
+        assert not monitor.is_quarantined("bad", 4)
+        # behaves during quarantine -> clean re-admission notice
+        run_round(monitor, 2, {"g1": 1.0, "g2": 1.0, "bad": 1.0})
+        _, alerts = run_round(monitor, 3, {"g1": 1.0, "g2": 1.0, "bad": 1.0})
+        readmissions = [a for a in alerts if a.detector == "quarantine"]
+        assert [a.severity for a in readmissions] == ["info"]
+        assert monitor.quarantined_clients == []
+
+    def test_still_diverging_at_boundary_renews_sentence(self, tmp_path):
+        monitor = self.make(tmp_path)
+        for r in range(4):
+            _, alerts = run_round(monitor, r,
+                                  {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        # no contradictory re-admission alongside the renewed quarantine
+        quarantine_alerts = [a for a in alerts if a.detector == "quarantine"]
+        assert all(a.severity == "critical" for a in quarantine_alerts)
+        assert monitor.is_quarantined("bad", 4)
+
+    def test_disabled_by_default(self, tmp_path):
+        monitor = HealthMonitor(
+            run_dir=tmp_path, detectors=[DivergingClientDetector(persist=1)])
+        for r in range(5):
+            run_round(monitor, r, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        assert monitor.quarantined_clients == []
+
+
+class TestArtifacts:
+    def test_health_jsonl_schema(self, tmp_path):
+        monitor = HealthMonitor(run_dir=tmp_path)
+        run_round(monitor, 0, {"a": 1.0, "b": -1.0})
+        monitor.finalize()
+        lines = [json.loads(line) for line in
+                 (tmp_path / "health.jsonl").read_text().splitlines()]
+        assert lines[0]["schema"] == "repro.obs.health/v1"
+        events = [line["event"] for line in lines[1:]]
+        assert events[0] == "round"
+        assert events[-1] == "summary"
+        round_event = lines[1]
+        assert set(round_event["clients"]) == {"a", "b"}
+        assert round_event["clients"]["a"]["update_norm"] > 0
+
+    def test_nan_serialized_as_null(self, tmp_path):
+        monitor = HealthMonitor(run_dir=tmp_path, detectors=[])
+        monitor.begin_round(0, ["a"], reference=weights(0.0))
+        monitor.record_update("a", weights(1.0))
+        monitor.end_round(new_global=None)  # no aggregation -> NaN cosine
+        payload = (tmp_path / "health.jsonl").read_text()
+        assert "NaN" not in payload
+        round_event = json.loads(payload.splitlines()[1])
+        assert round_event["clients"]["a"]["cosine_to_global"] is None
+
+    def test_finalize_without_rounds_still_writes_header(self, tmp_path):
+        monitor = HealthMonitor(run_dir=tmp_path)
+        monitor.finalize()
+        lines = (tmp_path / "health.jsonl").read_text().splitlines()
+        assert json.loads(lines[0])["schema"] == "repro.obs.health/v1"
+        assert json.loads(lines[1])["event"] == "summary"
+
+    def test_metrics_feed(self, tmp_path):
+        registry = obs_metrics.MetricsRegistry()
+        previous = obs_metrics.set_registry(registry)
+        try:
+            monitor = HealthMonitor(
+                run_dir=tmp_path,
+                detectors=[DivergingClientDetector(persist=1)])
+            run_round(monitor, 0, {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        finally:
+            obs_metrics.set_registry(previous)
+        payload = registry.to_dict()
+        hist_names = {h["name"] for h in payload["histograms"]}
+        assert "health.client.update_norm" in hist_names
+        assert "health.client.latency_seconds" in hist_names
+        counters = {(c["name"], c["tags"].get("detector")): c["value"]
+                    for c in payload["counters"]}
+        assert counters[("health.alerts", "diverging-client")] == 1
+
+    def test_status_line_mentions_worst_alert(self, tmp_path):
+        monitor = HealthMonitor(
+            run_dir=tmp_path, detectors=[DivergingClientDetector(persist=1)])
+        current, alerts = run_round(monitor, 0,
+                                    {"g1": 1.0, "g2": 1.0, "bad": -1.0})
+        line = monitor.status_line(current, alerts)
+        assert "r0" in line and "diverging-client" in line and "bad" in line

@@ -167,3 +167,57 @@ class TestExport:
         registry.counter("a", t="1").inc()
         names = [(c["name"], c["tags"]) for c in registry.to_dict()["counters"]]
         assert names == [("a", {"t": "1"}), ("a", {"t": "2"}), ("z", {})]
+
+
+class TestExactSmallSamplePercentiles:
+    """Regression: small-sample percentiles must be exact, not bucket bounds."""
+
+    def test_single_observation_p50_is_the_observation(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(0.03)
+        assert hist.percentile(50) == 0.03
+        assert hist.percentile(0) == 0.03
+        assert hist.percentile(100) == 0.03
+
+    def test_two_observations_interpolate_exactly(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(0.0002)
+        hist.observe(0.03)
+        # exact midpoint, not the 0.00025 bucket bound
+        assert hist.percentile(50) == pytest.approx(0.0151)
+
+    def test_matches_numpy_linear_method(self):
+        import numpy as np
+
+        values = [0.0001 * (i ** 2 + 1) for i in range(20)]
+        hist = MetricsRegistry().histogram("h")
+        for v in values:
+            hist.observe(v)
+        for p in (10, 25, 50, 75, 90, 99):
+            assert hist.percentile(p) == pytest.approx(
+                float(np.percentile(values, p)))
+
+    def test_falls_back_to_buckets_past_the_limit(self):
+        hist = MetricsRegistry().histogram("h")
+        for i in range(metrics.EXACT_SAMPLE_LIMIT + 1):
+            hist.observe(0.001 * (i + 1))
+        assert hist._samples is None
+        # bucket estimate stays within the observed range
+        assert hist.min <= hist.percentile(50) <= hist.max
+
+    def test_merge_keeps_exactness_when_reservoirs_fit(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(0.01)
+        b.histogram("h").observe(0.05)
+        a.merge(b)
+        assert a.histogram("h").percentile(50) == pytest.approx(0.03)
+
+    def test_merge_drops_reservoir_when_too_big(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for i in range(metrics.EXACT_SAMPLE_LIMIT - 1):
+            a.histogram("h").observe(0.001)
+        for i in range(10):
+            b.histogram("h").observe(0.002)
+        a.merge(b)
+        assert a.histogram("h")._samples is None
+        assert a.histogram("h").count == metrics.EXACT_SAMPLE_LIMIT + 9

@@ -71,3 +71,38 @@ def test_disabled_instruments_record_nothing(tmp_path):
     (hist,) = [h for h in session.registry.to_dict()["histograms"]
                if h["name"] == "train.step_seconds"]
     assert hist["count"] == 1
+
+
+def test_health_armed_overhead_is_bounded(tmp_path):
+    """Health monitoring hooks aggregation, not the step: steps between
+    monitored rounds must cost the same (loose bound; the precise < 3%
+    number lives in benchmarks/test_obs_overhead.py)."""
+    step = _make_step()
+    for _ in range(3):
+        step()
+    off = _median_step_seconds(step)
+    with TelemetrySession(tmp_path, health=True):
+        on = _median_step_seconds(step)
+    off2 = _median_step_seconds(step)
+    assert on <= max(min(off, off2) * 1.5, min(off, off2) + 0.01), (
+        f"telemetry+health step {on * 1e3:.2f}ms vs off "
+        f"{min(off, off2) * 1e3:.2f}ms")
+
+
+def test_health_round_cost_is_bounded_by_sample_size(tmp_path):
+    """Per-round monitor cost must not scale with model size beyond the
+    exact-norm pass: a 10x bigger model may cost more, but the sketching
+    stays at the configured coordinate budget."""
+    import numpy as np
+
+    from repro.obs import HealthMonitor
+
+    monitor = HealthMonitor(sample_size=1024)
+    rng = np.random.default_rng(0)
+    reference = {"w": rng.standard_normal(50_000).astype(np.float32)}
+    update = {"w": reference["w"] + 0.01}
+    monitor.begin_round(0, ["a", "b"], reference=reference)
+    monitor.record_update("a", update)
+    monitor.record_update("b", update)
+    assert monitor._sketches["a"].size <= 1024
+    monitor.end_round(new_global=update)

@@ -1,0 +1,92 @@
+"""The report CLI must degrade gracefully on partial / aborted runs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.report import load_health, load_trace, main, render_report
+
+
+def write_metrics(run_dir):
+    (run_dir / "metrics.json").write_text(json.dumps(
+        {"schema": "repro.obs.metrics/v1", "counters": [], "gauges": [],
+         "histograms": []}))
+
+
+class TestPartialRuns:
+    def test_metrics_only_run_reports_absent_artifacts(self, tmp_path):
+        write_metrics(tmp_path)
+        text = render_report(tmp_path)
+        assert "absent artifacts:" in text
+        assert "trace.jsonl" in text
+        assert "profile.json" in text
+        assert "health.jsonl" in text
+
+    def test_truncated_trace_line_is_skipped(self, tmp_path):
+        write_metrics(tmp_path)
+        (tmp_path / "trace.jsonl").write_text(
+            json.dumps({"schema": "repro.obs.trace/v1"}) + "\n"
+            + json.dumps({"span_id": 1, "parent_id": None, "name": "round",
+                          "wall_s": 0.5, "excl_s": 0.5}) + "\n"
+            + '{"span_id": 2, "name": "clie')  # killed mid-write
+        text = render_report(tmp_path)
+        assert "1 span(s)" in text
+
+    def test_malformed_profile_noted_not_fatal(self, tmp_path):
+        write_metrics(tmp_path)
+        (tmp_path / "profile.json").write_text("{not json")
+        text = render_report(tmp_path)
+        assert "profile.json unreadable" in text
+
+    def test_truncated_health_tolerated(self, tmp_path):
+        write_metrics(tmp_path)
+        (tmp_path / "health.jsonl").write_text(
+            json.dumps({"schema": "repro.obs.health/v1"}) + "\n"
+            + json.dumps({"event": "alert", "detector": "nan-update",
+                          "severity": "critical", "round_number": 1,
+                          "client": "site-2", "message": "boom"}) + "\n"
+            + '{"event": "round", "round')
+        text = render_report(tmp_path)
+        assert "nan-update" in text and "site-2" in text
+
+    def test_empty_run_dir_still_errors_cleanly(self, tmp_path):
+        assert main(["report", str(tmp_path)]) == 1
+
+    def test_missing_dir_errors_cleanly(self, tmp_path):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+
+
+class TestLoaders:
+    def test_load_trace_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"schema": "x"}\ngarbage\n'
+                        '{"span_id": 1, "name": "a"}\n')
+        assert [s["span_id"] for s in load_trace(path)] == [1]
+
+    def test_load_health_keeps_only_events(self, tmp_path):
+        path = tmp_path / "health.jsonl"
+        path.write_text('{"schema": "x"}\n'
+                        '{"event": "round", "round_number": 0}\n'
+                        'trunc{"ate')
+        records = load_health(path)
+        assert [r["event"] for r in records] == ["round"]
+
+
+class TestHealthSection:
+    def test_full_run_renders_health(self, tmp_path):
+        write_metrics(tmp_path)
+        (tmp_path / "health.jsonl").write_text("\n".join([
+            json.dumps({"schema": "repro.obs.health/v1"}),
+            json.dumps({"event": "round", "round_number": 0, "clients": {},
+                        "quarantined": ["site-3"]}),
+            json.dumps({"event": "alert", "detector": "diverging-client",
+                        "severity": "warning", "round_number": 0,
+                        "client": "site-3", "message": "drifting"}),
+            json.dumps({"event": "summary", "rounds": 1}),
+        ]) + "\n")
+        text = render_report(tmp_path)
+        assert "== health ==" in text
+        assert "quarantined clients: site-3" in text
+        assert "diverging-client" in text
