@@ -25,7 +25,7 @@ from .codec import (
 )
 from .dxo import DXO, MetaKey, get_wire_codec, set_wire_codec
 from .events import FLComponent, LogCapture, get_fl_logger, set_console_level
-from .faults import FaultPlan, FaultyMessageBus
+from .faults import FaultInjector, FaultPlan, FaultyMessageBus
 from .filters import (
     CompressionConfig,
     DeltaDecode,
@@ -67,13 +67,17 @@ from .server import AuthenticationError, FLServer
 from .shareable import Shareable, from_dxo, make_reply, to_dxo
 from .shareable_generator import FullModelShareableGenerator
 from .simulator import SimulationResult, SimulatorRunner
+from .socket_transport import SocketMessageBus
+from .runner import ProcessClientRunner
 from .stats import ClientRoundRecord, RoundRecord, RunStats
 from .transport import (
+    BaseTransport,
     Message,
     MessageBus,
     ReceiveTimeout,
     RetryPolicy,
     SignatureError,
+    Transport,
     TransportError,
     send_with_retry,
 )
@@ -90,7 +94,9 @@ __all__ = [
     "ParticipantSpec", "ProjectSpec", "StartupKit", "Provisioner",
     "default_project", "make_join_token",
     "Message", "MessageBus", "TransportError", "ReceiveTimeout", "SignatureError",
-    "RetryPolicy", "send_with_retry", "FaultPlan", "FaultyMessageBus",
+    "Transport", "BaseTransport", "SocketMessageBus", "ProcessClientRunner",
+    "RetryPolicy", "send_with_retry",
+    "FaultPlan", "FaultInjector", "FaultyMessageBus",
     "Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
     "CoordinateMedianAggregator", "TrimmedMeanAggregator",
     "FullModelShareableGenerator", "ModelPersistor",

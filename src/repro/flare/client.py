@@ -147,7 +147,8 @@ class FederatedClient(FLComponent):
     # ------------------------------------------------------------------
     def poll_once(self, timeout: float = 30.0) -> bool:
         """Receive and handle one message; False when told to stop."""
-        sender, topic, shareable = self.bus.receive(self.name, timeout=timeout)
+        sender, topic, shareable = self.bus.receive(
+            self.name, timeout=timeout, topic="task", peer=self.server_name)
         if topic == _STOP_TOPIC:
             return False
         reply = self.process_task(topic, shareable)

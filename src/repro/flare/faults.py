@@ -1,11 +1,17 @@
-"""Deterministic fault injection for the in-memory transport.
+"""Deterministic fault injection for both transport fabrics.
 
 Real NVFlare deployments sit on flaky hospital-site networks: messages get
 dropped, delayed, duplicated or corrupted, and whole sites crash mid-job.
-:class:`FaultyMessageBus` wraps the simulator's :class:`MessageBus` with a
-seeded :class:`FaultPlan` so chaos scenarios are reproducible bit-for-bit —
+A seeded :class:`FaultPlan` makes chaos scenarios reproducible bit-for-bit —
 every fault decision is a pure hash of ``(seed, kind, sender, recipient,
-topic, msg_id, attempt)``, never of wall-clock time or thread scheduling.
+topic, msg_id, attempt)``, never of wall-clock time or thread scheduling,
+so the *same plan makes the same per-message decisions on the in-memory bus
+and on the socket transport* (each node applies the plan to the messages it
+dispatches, exactly where the in-memory bus applies it).
+
+:class:`FaultyMessageBus` wraps the simulator's in-memory
+:class:`MessageBus`; ``SocketMessageBus(fault_plan=...)`` arms the same
+:class:`FaultInjector` on the socket path.
 
 Fault semantics (mirroring what a real channel does):
 
@@ -15,9 +21,9 @@ Fault semantics (mirroring what a real channel does):
 - **crash** — every message to or from a crashed site fails; the site
   registered fine but is gone, so the controller marks it dropped.
 - **straggler / delay** — delivery is held back by sleeping in the sender's
-  thread before the enqueue (no extra timer threads to leak).
-- **duplicate** — the envelope is enqueued twice; the receiver's message-id
-  dedup makes delivery exactly-once anyway.
+  thread before the dispatch (no extra timer threads to leak).
+- **duplicate** — the envelope is dispatched twice; the receiver's
+  message-id dedup makes delivery exactly-once anyway.
 - **corrupt** — a body byte is flipped *after* signing, so the receiver's
   HMAC check rejects the message instead of decoding garbage.
 """
@@ -28,10 +34,13 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 
+from ..obs.metrics import MetricsRegistry
 from .constants import ReservedKey
 from .transport import Message, MessageBus, TransportError
 
-__all__ = ["FaultPlan", "FaultyMessageBus"]
+__all__ = ["FaultPlan", "FaultInjector", "FaultyMessageBus"]
+
+_FAULT_KINDS = ("drop", "crash", "duplicate", "corrupt", "delay")
 
 
 @dataclass
@@ -80,6 +89,73 @@ class FaultPlan:
         return int.from_bytes(digest[:8], "little") / 2.0 ** 64
 
 
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to messages at dispatch time.
+
+    Transport-agnostic: :class:`FaultyMessageBus` runs it in front of the
+    in-memory enqueue, ``SocketMessageBus`` in front of the frame write.
+    Injections are tagged counters in the owning bus's registry, so a
+    telemetry session exports them alongside delivery totals.
+    """
+
+    def __init__(self, plan: FaultPlan, registry: MetricsRegistry) -> None:
+        self.plan = plan
+        self._counters = {kind: registry.counter("transport.faults", kind=kind)
+                          for kind in _FAULT_KINDS}
+
+    def count(self, kind: str) -> int:
+        return int(self._counters[kind].value)
+
+    def apply(self, message: Message) -> list[Message]:
+        """Fault one dispatch; returns the envelope(s) to actually deliver.
+
+        Raises :class:`TransportError` for drop/crash faults (the sender
+        sees a failed write), sleeps in the calling thread for delays,
+        flips a signed body byte for corruptions, and returns the message
+        twice for duplicates.
+        """
+        plan = self.plan
+        decision_key = "|".join((
+            message.sender, message.recipient, message.topic,
+            str(message.headers.get(ReservedKey.MSG_ID, "")),
+            str(message.headers.get(ReservedKey.ATTEMPT, 0))))
+
+        for endpoint in (message.sender, message.recipient):
+            if endpoint in plan.crashed_clients:
+                self._counters["crash"].inc()
+                raise TransportError(
+                    f"injected crash: site {endpoint!r} is down "
+                    f"(message {message.topic!r} lost)")
+
+        if plan.drop_prob and plan.unit("drop", decision_key) < plan.drop_prob:
+            self._counters["drop"].inc()
+            raise TransportError(
+                f"injected drop of {message.topic!r} from {message.sender!r} "
+                f"to {message.recipient!r}")
+
+        delay = plan.stragglers.get(message.sender, 0.0)
+        if plan.delay_prob and plan.unit("delay", decision_key) < plan.delay_prob:
+            delay += plan.max_delay * plan.unit("delay-amount", decision_key)
+        if delay > 0:
+            self._counters["delay"].inc()
+            time.sleep(delay)
+
+        if plan.corrupt_prob and plan.unit("corrupt", decision_key) < plan.corrupt_prob:
+            self._counters["corrupt"].inc()
+            if message.body:
+                flip_at = len(message.body) // 2
+                message.body = (message.body[:flip_at]
+                                + bytes([message.body[flip_at] ^ 0xFF])
+                                + message.body[flip_at + 1:])
+            else:
+                message.signature = "0" * len(message.signature)
+
+        if plan.duplicate_prob and plan.unit("duplicate", decision_key) < plan.duplicate_prob:
+            self._counters["duplicate"].inc()
+            return [message, message]
+        return [message]
+
+
 class FaultyMessageBus(MessageBus):
     """A :class:`MessageBus` that injects the faults described by a plan.
 
@@ -92,31 +168,27 @@ class FaultyMessageBus(MessageBus):
     def __init__(self, plan: FaultPlan) -> None:
         super().__init__()
         self.plan = plan
-        # Injections are tagged counters in the bus registry, so a telemetry
-        # session exports them alongside delivery totals; the ``injected_*``
-        # properties keep the original int-attribute API for chaos tests.
-        self._faults = {kind: self.metrics.counter("transport.faults", kind=kind)
-                        for kind in ("drop", "crash", "duplicate", "corrupt", "delay")}
+        self._injector = FaultInjector(plan, self.metrics)
 
     @property
     def injected_drops(self) -> int:
-        return int(self._faults["drop"].value)
+        return self._injector.count("drop")
 
     @property
     def injected_crash_drops(self) -> int:
-        return int(self._faults["crash"].value)
+        return self._injector.count("crash")
 
     @property
     def injected_duplicates(self) -> int:
-        return int(self._faults["duplicate"].value)
+        return self._injector.count("duplicate")
 
     @property
     def injected_corruptions(self) -> int:
-        return int(self._faults["corrupt"].value)
+        return self._injector.count("corrupt")
 
     @property
     def injected_delays(self) -> int:
-        return int(self._faults["delay"].value)
+        return self._injector.count("delay")
 
     def fault_counts(self) -> dict[str, int]:
         """JSON-safe summary of everything injected so far."""
@@ -128,44 +200,5 @@ class FaultyMessageBus(MessageBus):
 
     # ------------------------------------------------------------------
     def _enqueue(self, message: Message) -> None:
-        plan = self.plan
-        decision_key = "|".join((
-            message.sender, message.recipient, message.topic,
-            str(message.headers.get(ReservedKey.MSG_ID, "")),
-            str(message.headers.get(ReservedKey.ATTEMPT, 0))))
-
-        for endpoint in (message.sender, message.recipient):
-            if endpoint in plan.crashed_clients:
-                self._faults["crash"].inc()
-                raise TransportError(
-                    f"injected crash: site {endpoint!r} is down "
-                    f"(message {message.topic!r} lost)")
-
-        if plan.drop_prob and plan.unit("drop", decision_key) < plan.drop_prob:
-            self._faults["drop"].inc()
-            raise TransportError(
-                f"injected drop of {message.topic!r} from {message.sender!r} "
-                f"to {message.recipient!r}")
-
-        delay = plan.stragglers.get(message.sender, 0.0)
-        if plan.delay_prob and plan.unit("delay", decision_key) < plan.delay_prob:
-            delay += plan.max_delay * plan.unit("delay-amount", decision_key)
-        if delay > 0:
-            self._faults["delay"].inc()
-            time.sleep(delay)
-
-        if plan.corrupt_prob and plan.unit("corrupt", decision_key) < plan.corrupt_prob:
-            self._faults["corrupt"].inc()
-            if message.body:
-                flip_at = len(message.body) // 2
-                message.body = (message.body[:flip_at]
-                                + bytes([message.body[flip_at] ^ 0xFF])
-                                + message.body[flip_at + 1:])
-            else:
-                message.signature = "0" * len(message.signature)
-
-        super()._enqueue(message)
-
-        if plan.duplicate_prob and plan.unit("duplicate", decision_key) < plan.duplicate_prob:
-            self._faults["duplicate"].inc()
-            super()._enqueue(message)
+        for copy in self._injector.apply(message):
+            super()._enqueue(copy)

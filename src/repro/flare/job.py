@@ -56,6 +56,11 @@ class FLJob:
         ``None`` (full weights both ways).  ``SimulatorRunner`` installs the
         matching client and server filter chains and switches the wire
         codec accordingly; its own ``compression=`` argument overrides this.
+    transport:
+        Which fabric carries the job's messages: ``"memory"`` (threaded
+        clients on the in-process bus), ``"socket"`` (one OS process per
+        client over TCP loopback), or ``None`` to let ``SimulatorRunner``
+        decide (its own ``transport=`` argument overrides this).
     """
 
     name: str
@@ -72,9 +77,13 @@ class FLJob:
     result_timeout: float = 600.0
     max_failed_rounds: int = 0
     compression: CompressionConfig | str | None = None
+    transport: str | None = None
 
     def __post_init__(self) -> None:
         self.compression = CompressionConfig.from_spec(self.compression)
+        if self.transport not in (None, "memory", "socket"):
+            raise ValueError(
+                f"transport must be 'memory' or 'socket', got {self.transport!r}")
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not self.initial_weights:

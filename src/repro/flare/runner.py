@@ -1,0 +1,234 @@
+"""ProcessClientRunner: one OS process per federated client, over sockets.
+
+The deployment shape the paper actually runs — every clinical site is its
+own NVFlare process talking to the server over the network — reproduced
+with :mod:`multiprocessing` and the :class:`~repro.flare.socket_transport
+.SocketMessageBus`.  The parent process hosts the server (hub node +
+:class:`~repro.flare.controller.ScatterAndGather`); each client process
+hosts a spoke node plus a :class:`~repro.flare.client.FederatedClient`
+serving the task loop until the server's ``__stop__`` fan-out.
+
+Control plane vs data plane: the certificate/nonce registration handshake
+(the Fig. 3 "Token & SSH Protocols" stage) runs in the parent *before* the
+fork — it is the provisioning/admission step, and running it in-process
+keeps the RSA material out of the child argument surface.  The child gets
+only its startup kit, its join token and the server's session key, from
+which both ends derive the HMAC channel; every task/result/heartbeat byte
+after that crosses a real TCP socket.
+
+The default start method is ``fork`` (the only one that does not require
+picklable learner factories); jobs whose factories pickle cleanly may pass
+``start_method="spawn"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .client import FederatedClient, session_key_from_token
+from .constants import ReservedKey
+from .filters import CompressionConfig
+from .provision import StartupKit
+from .security import sign
+from .socket_transport import SocketMessageBus
+from .transport import ReceiveTimeout, SignatureError, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultPlan
+    from .learner import Learner
+    from .server import FLServer
+
+__all__ = ["ProcessClientRunner", "ClientProcessConfig", "client_process_main"]
+
+
+@dataclass
+class ClientProcessConfig:
+    """Everything one client process needs to join and serve."""
+
+    kit: StartupKit
+    token: str
+    server_name: str
+    server_key: bytes
+    address: tuple[str, int]
+    fault_plan: "FaultPlan | None" = None
+    compression: CompressionConfig | None = None
+    extra_result_filters: list = field(default_factory=list)
+    heartbeat_interval: float | None = 2.0
+    poll_timeout: float = 1.0
+
+
+def client_process_main(config: ClientProcessConfig,
+                        learner_factory: Callable[[str], "Learner"],
+                        gate=None) -> None:
+    """Entry point of one client process: connect, serve tasks, exit on stop.
+
+    Mirrors ``FederatedClient.serve_in_thread`` on a spoke node: idle
+    receive timeouts keep the loop polling, corrupted frames (bad HMAC) are
+    dropped without costing the process, and transport outages ride on the
+    spoke's reconnect-with-backoff until the server's stop message lands.
+    """
+    name = config.kit.participant.name
+    bus = SocketMessageBus.connect(config.address,
+                                   fault_plan=config.fault_plan,
+                                   heartbeat_interval=config.heartbeat_interval)
+    try:
+        task_data_filters: list = []
+        task_result_filters: list = list(config.extra_result_filters)
+        if config.compression is not None:
+            task_data_filters = config.compression.client_task_filters()
+            task_result_filters += config.compression.client_result_filters()
+        client = FederatedClient(config.kit, learner_factory(name), bus,
+                                 task_result_filters=task_result_filters,
+                                 task_data_filters=task_data_filters)
+        client.token = config.token
+        client.server_name = config.server_name
+        bus.install_session_key(name, session_key_from_token(config.token))
+        bus.register_peer(config.server_name)
+        bus.install_session_key(config.server_name, config.server_key)
+        client.fl_ctx.set_prop(ReservedKey.TOKEN, config.token)
+        client.learner.initialize(client.fl_ctx)
+        client.task_semaphore = gate
+        try:
+            while True:
+                try:
+                    if not client.poll_once(timeout=config.poll_timeout):
+                        break
+                except ReceiveTimeout:
+                    continue  # idle; keep serving
+                except SignatureError as error:
+                    client.log_warning("rejected corrupted/forged task: %s", error)
+                except TransportError as error:
+                    client.log_warning("transport hiccup: %s", error)
+                    time.sleep(config.poll_timeout)
+        finally:
+            client.learner.finalize(client.fl_ctx)
+    finally:
+        bus.close()
+
+
+class ProcessClientRunner:
+    """Launches and supervises one process per client site.
+
+    Usage, given a hub-mode :class:`SocketMessageBus` and a registered
+    :class:`FLServer` on it::
+
+        runner = ProcessClientRunner(job.learner_factory, kits, server)
+        tokens = runner.launch(client_names)
+        ...  # run the controller against the hub
+        server.stop_clients(client_names)
+        runner.join()
+
+    ``launch`` performs the registration handshake for every site in the
+    parent (installing the client session keys on the hub), forks the
+    client processes, and blocks until each spoke's endpoint announcement
+    reaches the hub — so the first broadcast never races the connects.
+    """
+
+    def __init__(self, learner_factory: Callable[[str], "Learner"],
+                 kits: dict[str, StartupKit], server: "FLServer", *,
+                 compression: CompressionConfig | None = None,
+                 extra_result_filters: list | None = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 max_parallel: int | None = None,
+                 heartbeat_interval: float | None = 2.0,
+                 poll_timeout: float = 1.0,
+                 start_method: str = "fork",
+                 connect_timeout: float = 30.0) -> None:
+        hub = server.bus
+        if not isinstance(hub, SocketMessageBus):
+            raise TypeError("ProcessClientRunner needs the server on a "
+                            "SocketMessageBus hub; got "
+                            f"{type(hub).__name__}")
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} unavailable on this platform "
+                f"(have: {multiprocessing.get_all_start_methods()})")
+        self.learner_factory = learner_factory
+        self.kits = kits
+        self.server = server
+        self.hub = hub
+        self.compression = compression
+        self.extra_result_filters = list(extra_result_filters or [])
+        self.fault_plan = fault_plan
+        self.max_parallel = max_parallel
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_timeout = poll_timeout
+        self.connect_timeout = connect_timeout
+        self._ctx = multiprocessing.get_context(start_method)
+        self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
+        self.tokens: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str) -> str:
+        """Run the token handshake for ``name`` in the parent; returns the token."""
+        kit = self.kits[name]
+        nonce = self.server.issue_nonce(name)
+        proof = sign(nonce, kit.keypair)
+        token = self.server.register_client(kit.certificate, nonce, proof)
+        self.tokens[name] = token
+        self.server.log_info(
+            "Successfully registered client:%s for project simulator_server. Token:%s",
+            name, token)
+        return token
+
+    def launch(self, client_names: list[str]) -> dict[str, str]:
+        """Handshake, fork and wait for every client to come online."""
+        server_key = self.hub.session_key(self.server.name)
+        if server_key is None:
+            raise TransportError("server has no session key on the hub")
+        address = self.hub.address
+        # One shared cross-process gate bounds how many sites train at once,
+        # mirroring the threaded simulator's max_parallel semaphore.
+        gate = (self._ctx.Semaphore(self.max_parallel)
+                if self.max_parallel is not None else None)
+        for name in client_names:
+            token = self.tokens.get(name) or self.register(name)
+            config = ClientProcessConfig(
+                kit=self.kits[name], token=token, server_name=self.server.name,
+                server_key=server_key, address=address,
+                fault_plan=self.fault_plan, compression=self.compression,
+                extra_result_filters=self.extra_result_filters,
+                heartbeat_interval=self.heartbeat_interval,
+                poll_timeout=self.poll_timeout)
+            process = self._ctx.Process(
+                target=client_process_main,
+                args=(config, self.learner_factory, gate),
+                name=f"fl-client-{name}", daemon=True)
+            process.start()
+            self._processes[name] = process
+        self.hub.wait_for_endpoints(client_names, timeout=self.connect_timeout)
+        return dict(self.tokens)
+
+    # ------------------------------------------------------------------
+    def alive(self) -> list[str]:
+        return [name for name, process in self._processes.items()
+                if process.is_alive()]
+
+    def join(self, timeout: float = 30.0) -> dict[str, int | None]:
+        """Join every client process; stragglers are terminated.
+
+        Returns the exit code per site (negative = killed by signal,
+        ``None`` should not occur after the join/terminate ladder).
+        """
+        deadline = time.monotonic() + timeout
+        for name, process in self._processes.items():
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for name, process in self._processes.items():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - last resort
+                process.kill()
+                process.join(timeout=5.0)
+        return {name: process.exitcode
+                for name, process in self._processes.items()}
+
+    def terminate(self) -> None:
+        """Hard-stop every client process (fault cleanup path)."""
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+        self.join(timeout=5.0)

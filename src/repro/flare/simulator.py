@@ -30,9 +30,11 @@ from .fl_context import FLContext
 from .job import FLJob
 from .persistor import ModelPersistor
 from .provision import Provisioner, default_project
+from .runner import ProcessClientRunner
 from .server import FLServer
+from .socket_transport import SocketMessageBus
 from .stats import RunStats
-from .transport import MessageBus
+from .transport import MessageBus, Transport
 
 __all__ = ["SimulatorRunner", "SimulationResult"]
 
@@ -61,11 +63,22 @@ class SimulatorRunner:
                  telemetry: bool = False,
                  health: bool | HealthMonitor = False,
                  compression: CompressionConfig | str | None = None,
-                 wire_codec: str | None = None) -> None:
+                 wire_codec: str | None = None,
+                 transport: str | None = None) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
             raise ValueError("max_parallel must be positive")
+        # Which fabric carries the job: "memory" = threaded clients on the
+        # in-process bus, "socket" = one OS process per client over TCP
+        # loopback.  The runner argument overrides the job's setting.
+        self.transport = transport or job.transport or "memory"
+        if self.transport not in ("memory", "socket"):
+            raise ValueError(
+                f"transport must be 'memory' or 'socket', got {self.transport!r}")
+        if self.transport == "socket" and not threads:
+            raise ValueError("transport='socket' requires threads=True "
+                             "(clients run in their own processes)")
         self.job = job
         self.n_clients = n_clients
         self.seed = seed
@@ -134,41 +147,58 @@ class SimulatorRunner:
         provisioner = Provisioner(project, seed=self.seed, key_bits=self.key_bits)
         kits = provisioner.provision()
 
-        bus = (FaultyMessageBus(self.fault_plan) if self.fault_plan is not None
-               else MessageBus())
+        bus: Transport
+        if self.transport == "socket":
+            # Hub node: listens on loopback, routes frames between the
+            # server endpoint (local) and the per-process client spokes.
+            bus = SocketMessageBus(fault_plan=self.fault_plan)
+        else:
+            bus = (FaultyMessageBus(self.fault_plan)
+                   if self.fault_plan is not None else MessageBus())
         server = FLServer(kits["server"], bus, seed=self.seed)
         server.log_info("Create the simulate clients.")
 
-        gate = threading.Semaphore(self.max_parallel)
         clients: list[FederatedClient] = []
-        for spec in project.clients:
-            learner = self.job.learner_factory(spec.name)
-            task_data_filters: list = []
-            task_result_filters = list(self.job.task_result_filters)
-            if self.compression is not None:
-                # fresh instances per client: DeltaDecode caches this
-                # site's reconstructed global model between rounds
-                task_data_filters = self.compression.client_task_filters()
-                task_result_filters += self.compression.client_result_filters()
-            client = FederatedClient(
-                kits[spec.name], learner, bus,
-                task_result_filters=task_result_filters,
-                task_data_filters=task_data_filters)
-            client.task_semaphore = gate
-            client.register(server)
-            client.log_info(
-                "Successfully registered client:%s for project simulator_server. Token:%s",
-                spec.name, client.token)
-            clients.append(client)
+        runner: ProcessClientRunner | None = None
+        client_names = [spec.name for spec in project.clients]
+        if self.transport == "socket":
+            runner = ProcessClientRunner(
+                self.job.learner_factory, kits, server,
+                compression=self.compression,
+                extra_result_filters=list(self.job.task_result_filters),
+                fault_plan=self.fault_plan,
+                max_parallel=self.max_parallel)
+            runner.launch(client_names)
+        else:
+            gate = threading.Semaphore(self.max_parallel)
+            for spec in project.clients:
+                learner = self.job.learner_factory(spec.name)
+                task_data_filters: list = []
+                task_result_filters = list(self.job.task_result_filters)
+                if self.compression is not None:
+                    # fresh instances per client: DeltaDecode caches this
+                    # site's reconstructed global model between rounds
+                    task_data_filters = self.compression.client_task_filters()
+                    task_result_filters += self.compression.client_result_filters()
+                client = FederatedClient(
+                    kits[spec.name], learner, bus,
+                    task_result_filters=task_result_filters,
+                    task_data_filters=task_data_filters)
+                client.task_semaphore = gate
+                client.register(server)
+                client.log_info(
+                    "Successfully registered client:%s for project simulator_server. Token:%s",
+                    spec.name, client.token)
+                clients.append(client)
 
-        if self.threads:
-            for client in clients:
-                client.serve_in_thread()
+            if self.threads:
+                for client in clients:
+                    client.serve_in_thread()
 
         persistor = ModelPersistor(self.run_dir / "models")
         controller = ScatterAndGather(
             server=server,
-            client_names=[client.name for client in clients],
+            client_names=client_names,
             initial_weights=self.job.initial_weights,
             aggregator=self.job.aggregator_factory(),
             persistor=persistor,
@@ -189,7 +219,13 @@ class SimulatorRunner:
             else:
                 stats = self._run_sequential(controller, clients)
         finally:
-            if self.threads:
+            if runner is not None:
+                # Stop fan-out may be partially undeliverable on a faulty
+                # fabric; join() terminates any straggler processes anyway.
+                server.stop_clients(client_names)
+                runner.join()
+                bus.close()
+            elif self.threads:
                 # Join every worker thread even when the controller aborted
                 # mid-run or the stop fan-out itself hits a faulty bus: the
                 # stop flag (client.stop) does not depend on the __stop__

@@ -1,0 +1,577 @@
+"""Socket transport: length-prefixed signed frames over TCP loopback.
+
+The real-deployment counterpart of the in-memory :class:`MessageBus`: one
+:class:`SocketMessageBus` *node* per process, hosting that process's
+endpoints, all connected hub-and-spoke.  The hub (the server process)
+listens; every spoke (client process) opens one uplink, announces its
+endpoints, and exchanges envelopes through the hub, which routes by
+recipient name.
+
+The bytes on the wire are exactly the envelopes the in-memory bus passes
+around — the Shareable's JSON headers plus its RTC1/npz-encoded DXO block,
+HMAC-signed under the sender's session key — wrapped in a minimal binary
+framing:
+
+.. code-block:: text
+
+    frame   := u32le payload_length | payload       (length caps at 1 GiB)
+    payload := u8 frame_type | rest
+    DATA    := u32le header_length | header_json | body
+    HELLO   := json {"endpoints": [name, ...]}
+    PING / PONG / BYE := empty rest
+
+``header_json`` carries sender/recipient/topic/signature plus the envelope
+headers (msg id, attempt, send timestamp); ``body`` is the signed Shareable
+bytes, passed through untouched.  Signature verification and message-id
+dedup happen at the *receiving endpoint's* node, exactly where the
+in-memory bus performs them, so the two fabrics share one security model
+(pinned by ``tests/flare/test_transport_conformance.py``).
+
+Reliability: spokes reconnect with :class:`RetryPolicy` backoff when the
+uplink breaks, resending their endpoint announcement so the hub re-learns
+the route; an optional heartbeat thread PINGs the hub so half-open links
+are detected between rounds.  Malformed, truncated or oversized frames
+raise :class:`TransportError` and cost only the offending connection —
+never the node.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import struct
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from .events import get_fl_logger
+from .faults import FaultInjector
+from .transport import (
+    BaseTransport,
+    Message,
+    RetryPolicy,
+    TransportError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import queue
+
+    from .faults import FaultPlan
+
+__all__ = ["SocketMessageBus", "FRAME_DATA", "FRAME_HELLO", "FRAME_PING",
+           "FRAME_PONG", "FRAME_BYE", "MAX_FRAME_BYTES", "encode_frame",
+           "encode_data_frame", "decode_data_frame", "read_frame"]
+
+FRAME_DATA = 1
+FRAME_HELLO = 2
+FRAME_PING = 3
+FRAME_PONG = 4
+FRAME_BYE = 5
+_FRAME_TYPES = (FRAME_DATA, FRAME_HELLO, FRAME_PING, FRAME_PONG, FRAME_BYE)
+
+# Hard ceiling on one frame: a corrupted / hostile length prefix must never
+# make a reader allocate unbounded memory or wait on gigabytes that will
+# never arrive.  1 GiB comfortably clears the largest BERT state dict the
+# repro ships while still rejecting garbage prefixes (which are uniform in
+# [0, 2^32) and almost always land above it).
+MAX_FRAME_BYTES = 1 << 30
+
+_LEN = struct.Struct("<I")
+
+
+# ---------------------------------------------------------------------------
+# frame codec (module-level so the fuzz suite can hit it directly)
+# ---------------------------------------------------------------------------
+def encode_frame(frame_type: int, rest: bytes = b"") -> bytes:
+    """``type || rest`` wrapped in the u32le length prefix."""
+    payload = bytes([frame_type]) + rest
+    if len(payload) > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    return _LEN.pack(len(payload)) + payload
+
+
+def encode_data_frame(message: Message) -> bytes:
+    """One signed envelope as a DATA frame."""
+    header = json.dumps({
+        "sender": message.sender, "recipient": message.recipient,
+        "topic": message.topic, "signature": message.signature,
+        "headers": message.headers}).encode("utf-8")
+    return encode_frame(FRAME_DATA,
+                        _LEN.pack(len(header)) + header + message.body)
+
+
+def decode_data_frame(rest: bytes) -> Message:
+    """DATA payload (after the type byte) → :class:`Message`.
+
+    Every malformation — truncated header length, header overrunning the
+    payload, non-JSON or non-object headers, missing/foreign-typed fields —
+    raises :class:`TransportError`; nothing else escapes.  A bit flip that
+    survives decoding still carries a broken HMAC and dies in ``receive``.
+    """
+    if len(rest) < _LEN.size:
+        raise TransportError("truncated data frame: missing header length")
+    (header_len,) = _LEN.unpack_from(rest)
+    if header_len > len(rest) - _LEN.size:
+        raise TransportError(
+            f"truncated data frame: header of {header_len} bytes overruns "
+            f"the {len(rest)}-byte payload")
+    try:
+        header = json.loads(rest[_LEN.size:_LEN.size + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TransportError(f"undecodable data frame header: {error}") from error
+    if not isinstance(header, dict):
+        raise TransportError("data frame header is not a JSON object")
+    try:
+        sender, recipient = header["sender"], header["recipient"]
+        topic, signature = header["topic"], header["signature"]
+        headers = header.get("headers", {})
+    except KeyError as error:
+        raise TransportError(f"data frame header missing field {error}") from error
+    if not all(isinstance(value, str) for value in (sender, recipient, topic, signature)) \
+            or not isinstance(headers, dict):
+        raise TransportError("data frame header fields have wrong types")
+    return Message(sender=sender, recipient=recipient, topic=topic,
+                   body=rest[_LEN.size + header_len:], signature=signature,
+                   headers=headers)
+
+
+def _recv_exact(sock: socket.socket, n: int, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a frame boundary.
+
+    EOF *inside* a frame — or inside its length prefix — is a mid-frame
+    disconnect and raises :class:`TransportError`.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(n - got, 1 << 16))
+        except OSError as error:
+            raise TransportError(f"connection lost mid-frame: {error}") from error
+        if not chunk:
+            if at_boundary and got == 0:
+                return None
+            raise TransportError(
+                f"connection closed mid-frame ({got}/{n} bytes read)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[int, bytes] | None:
+    """Read one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`TransportError` on truncated prefixes, mid-frame
+    disconnects, oversized or zero-length payloads, and unknown frame types.
+    """
+    prefix = _recv_exact(sock, _LEN.size, at_boundary=True)
+    if prefix is None:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length == 0:
+        raise TransportError("zero-length frame (no type byte)")
+    if length > MAX_FRAME_BYTES:
+        raise TransportError(
+            f"declared frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap")
+    payload = _recv_exact(sock, length, at_boundary=False)
+    frame_type = payload[0]
+    if frame_type not in _FRAME_TYPES:
+        raise TransportError(f"unknown frame type {frame_type}")
+    return frame_type, payload[1:]
+
+
+# ---------------------------------------------------------------------------
+# connections
+# ---------------------------------------------------------------------------
+class _PeerClosed(Exception):
+    """The peer announced a clean shutdown (BYE frame)."""
+
+
+class _Link:
+    """One TCP connection with serialized writes and an alive flag."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.alive = True
+        self._write_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+
+    def send_bytes(self, frame: bytes) -> None:
+        with self._write_lock:
+            if not self.alive:
+                raise TransportError("link is down")
+            try:
+                self.sock.sendall(frame)
+            except OSError as error:
+                self.alive = False
+                raise TransportError(f"socket write failed: {error}") from error
+
+    def close(self) -> None:
+        self.alive = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class SocketMessageBus(BaseTransport):
+    """A transport node speaking the frame protocol over TCP loopback.
+
+    Hub mode (``listen=True``, the default) binds a listener — the server
+    process — and routes frames between every connected spoke.  Spoke mode
+    (:meth:`connect`) opens one uplink to the hub and relays every
+    non-local envelope through it.
+
+    ``fault_plan`` arms the same seeded :class:`~repro.flare.faults
+    .FaultPlan` injection the in-memory :class:`FaultyMessageBus` applies,
+    at the same place (the sender's dispatch), so chaos scenarios make the
+    same per-message decisions on both fabrics.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 listen: bool = True,
+                 connect_to: tuple[str, int] | None = None,
+                 fault_plan: "FaultPlan | None" = None,
+                 retry_policy: RetryPolicy | None = None,
+                 heartbeat_interval: float | None = None,
+                 connect_timeout: float = 10.0) -> None:
+        super().__init__()
+        if listen and connect_to is not None:
+            raise ValueError("a node either listens (hub) or connects (spoke)")
+        self._log = logging.LoggerAdapter(get_fl_logger(),
+                                          {"component": type(self).__name__})
+        self._injector = (FaultInjector(fault_plan, self.metrics)
+                          if fault_plan is not None else None)
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_timeout = connect_timeout
+        self._queues: dict[str, "queue.Queue[Message]"] = {}
+        self._links: dict[str, _Link] = {}  # endpoint name -> claiming link
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._listener: socket.socket | None = None
+        self._uplink: _Link | None = None
+        self._uplink_lock = threading.Lock()
+        self._connect_addr = connect_to
+        self._last_pong: float | None = None
+        self._routing_drops = self.metrics.counter("transport.routing_drops")
+        self._reconnects = self.metrics.counter("transport.reconnects")
+        self._frame_errors = self.metrics.counter("transport.frame_errors")
+        self._heartbeats = {kind: self.metrics.counter("transport.heartbeats",
+                                                       kind=kind)
+                            for kind in ("ping", "pong")}
+        if listen:
+            self._listener = socket.create_server((host, port), backlog=64)
+            self._spawn(self._accept_loop, name="bus-accept")
+        if connect_to is not None:
+            self._ensure_uplink()
+            if self.heartbeat_interval is not None:
+                self._spawn(self._heartbeat_loop, name="bus-heartbeat")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(cls, address: tuple[str, int], **kwargs) -> "SocketMessageBus":
+        """A spoke node linked to the hub at ``address``."""
+        return cls(listen=False, connect_to=tuple(address), **kwargs)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The hub's bound ``(host, port)``."""
+        if self._listener is None:
+            raise TransportError("node is not listening")
+        host, port = self._listener.getsockname()[:2]
+        return host, port
+
+    @property
+    def last_pong(self) -> float | None:
+        """``time.monotonic()`` of the most recent heartbeat reply."""
+        return self._last_pong
+
+    def heartbeat_counts(self) -> dict[str, int]:
+        return {kind: int(counter.value)
+                for kind, counter in self._heartbeats.items()}
+
+    def _spawn(self, target, name: str) -> None:
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Transport surface
+    # ------------------------------------------------------------------
+    def _on_endpoint_registered(self, name: str) -> None:
+        import queue as queue_module
+
+        announce = False
+        with self._lock:
+            if name not in self._queues:
+                self._queues[name] = queue_module.Queue()
+                announce = True
+        # A spoke re-announces whenever it starts hosting a new endpoint so
+        # the hub learns the route before any traffic needs it.
+        if announce and self._connect_addr is not None and self._uplink is not None:
+            try:
+                self._send_hello(self._uplink)
+            except TransportError:
+                pass  # the reconnect path re-announces everything
+
+    def pending(self, name: str) -> int:
+        with self._lock:
+            return self._queues[name].qsize() if name in self._queues else 0
+
+    def _next_message(self, name: str, remaining: float | None) -> Message | None:
+        import queue as queue_module
+
+        with self._lock:
+            q = self._queues[name]
+        try:
+            return q.get(timeout=remaining)
+        except queue_module.Empty:
+            return None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: Message) -> None:
+        copies = ([message] if self._injector is None
+                  else self._injector.apply(message))
+        for copy in copies:
+            self._route(copy)
+
+    def _route(self, message: Message) -> None:
+        recipient = message.recipient
+        with self._lock:
+            link = self._links.get(recipient)
+            local = link is None and recipient in self._queues
+        if link is not None:
+            link_frame = encode_data_frame(message)
+            self._send_link(link, link_frame, recipient)
+            self._count_delivery(message)
+        elif local:
+            self._deliver_local(message)
+        elif self._connect_addr is not None:
+            # Spoke: everything non-local goes through the hub, which owns
+            # the routing table; deliverability is the hub's judgement.
+            self._send_uplink(encode_data_frame(message))
+            self._count_delivery(message)
+        else:
+            raise TransportError(f"unknown recipient {recipient!r}")
+
+    def _deliver_local(self, message: Message) -> None:
+        with self._lock:
+            q = self._queues.get(message.recipient)
+        if q is None:
+            self._routing_drops.inc()
+            self._log.warning("dropping %r for unknown local endpoint %r",
+                              message.topic, message.recipient)
+            return
+        q.put(message)
+        self._count_delivery(message)
+
+    def _send_link(self, link: _Link, frame: bytes, recipient: str) -> None:
+        try:
+            link.send_bytes(frame)
+        except TransportError:
+            # the reader notices the dead socket too; drop the claim now so
+            # retries fail fast until the spoke reconnects
+            self._forget_link(link)
+            raise
+
+    def _forget_link(self, link: _Link) -> None:
+        with self._lock:
+            stale = [name for name, claimed in self._links.items()
+                     if claimed is link]
+            for name in stale:
+                del self._links[name]
+        link.close()
+
+    # ------------------------------------------------------------------
+    # hub side
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closed.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            link = _Link(sock)
+            self._spawn(lambda l=link: self._reader_loop(l), name="bus-reader")
+
+    def _claim_endpoints(self, link: _Link, names: list[str]) -> None:
+        """Map announced endpoints to their link; flush any queued backlog."""
+        backlog: list[Message] = []
+        with self._lock:
+            for name in names:
+                self._links[name] = link
+                self._peers.add(name)
+                q = self._queues.get(name)
+                while q is not None and not q.empty():
+                    backlog.append(q.get_nowait())
+        for message in backlog:
+            try:
+                link.send_bytes(encode_data_frame(message))
+            except TransportError:
+                self._routing_drops.inc()
+
+    def _reader_loop(self, link: _Link) -> None:
+        """Drain one connection; a bad frame costs the connection, not the node."""
+        try:
+            while not self._closed.is_set():
+                frame = read_frame(link.sock)
+                if frame is None:
+                    return
+                self._handle_frame(link, *frame)
+        except _PeerClosed:
+            return
+        except TransportError as error:
+            if not self._closed.is_set():
+                self._frame_errors.inc()
+                self._log.warning("connection dropped: %s", error)
+        finally:
+            self._forget_link(link)
+
+    def _handle_frame(self, link: _Link, frame_type: int, rest: bytes) -> None:
+        if frame_type == FRAME_HELLO:
+            try:
+                hello = json.loads(rest.decode("utf-8"))
+                names = list(hello["endpoints"])
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError) as error:
+                raise TransportError(f"malformed HELLO: {error}") from error
+            self._claim_endpoints(link, [str(name) for name in names])
+        elif frame_type == FRAME_PING:
+            self._heartbeats["pong"].inc()
+            link.send_bytes(encode_frame(FRAME_PONG))
+        elif frame_type == FRAME_PONG:
+            self._last_pong = time.monotonic()
+            self._heartbeats["pong"].inc()
+        elif frame_type == FRAME_BYE:
+            raise _PeerClosed
+        else:  # FRAME_DATA
+            message = decode_data_frame(rest)
+            with self._lock:
+                forward = self._links.get(message.recipient)
+            if forward is not None and forward is not link:
+                try:
+                    forward.send_bytes(encode_frame(FRAME_DATA, rest))
+                    self._count_delivery(message)
+                except TransportError:
+                    self._forget_link(forward)
+                    self._routing_drops.inc()
+            else:
+                self._deliver_local(message)
+
+    # ------------------------------------------------------------------
+    # spoke side
+    # ------------------------------------------------------------------
+    def _send_hello(self, link: _Link) -> None:
+        with self._lock:
+            names = sorted(self._queues)
+        link.send_bytes(encode_frame(
+            FRAME_HELLO, json.dumps({"endpoints": names}).encode("utf-8")))
+
+    def _ensure_uplink(self) -> _Link:
+        with self._uplink_lock:
+            if self._uplink is not None and self._uplink.alive:
+                return self._uplink
+            reconnecting = self._uplink is not None
+            last_error: Exception | None = None
+            for attempt in range(self.retry_policy.max_attempts):
+                if self._closed.is_set():
+                    raise TransportError("node is closed")
+                try:
+                    sock = socket.create_connection(self._connect_addr,
+                                                    timeout=self.connect_timeout)
+                    sock.settimeout(None)
+                    link = _Link(sock)
+                    self._send_hello(link)
+                    self._uplink = link
+                    self._spawn(lambda l=link: self._reader_loop(l),
+                                name="bus-uplink-reader")
+                    if reconnecting:
+                        self._reconnects.inc()
+                    return link
+                except (OSError, TransportError) as error:
+                    last_error = error
+                    if attempt + 1 < self.retry_policy.max_attempts:
+                        time.sleep(self.retry_policy.delay_for(attempt))
+            raise TransportError(
+                f"cannot reach hub at {self._connect_addr} after "
+                f"{self.retry_policy.max_attempts} attempt(s): {last_error}"
+            ) from last_error
+
+    def _send_uplink(self, frame: bytes) -> None:
+        link = self._ensure_uplink()
+        try:
+            link.send_bytes(frame)
+        except TransportError:
+            link.close()
+            # one reconnect-and-resend; send_with_retry owns further retries
+            self._ensure_uplink().send_bytes(frame)
+
+    def _heartbeat_loop(self) -> None:
+        assert self.heartbeat_interval is not None
+        while not self._closed.wait(self.heartbeat_interval):
+            try:
+                self._send_uplink(encode_frame(FRAME_PING))
+                self._heartbeats["ping"].inc()
+            except TransportError:
+                continue  # the next data send (or beat) retries the uplink
+
+    # ------------------------------------------------------------------
+    def wait_for_endpoints(self, names: list[str], timeout: float = 30.0) -> None:
+        """Block until every name is routable (local or claimed by a link)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                missing = [name for name in names
+                           if name not in self._links and name not in self._queues]
+            if not missing:
+                return
+            if time.monotonic() > deadline:
+                raise TransportError(
+                    f"endpoints never connected within {timeout}s: "
+                    f"{', '.join(missing)}")
+            time.sleep(0.01)
+
+    def close(self) -> None:
+        """Tear down the listener, every link and the helper threads."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._uplink_lock:
+            if self._uplink is not None:
+                try:
+                    self._uplink.send_bytes(encode_frame(FRAME_BYE))
+                except TransportError:
+                    pass
+                self._uplink.close()
+        with self._lock:
+            links = set(self._links.values())
+            self._links.clear()
+        for link in links:
+            link.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def __enter__(self) -> "SocketMessageBus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,16 +1,29 @@
-"""In-memory transport: queues + signed, serialized messages.
+"""Transport seam: signed envelopes over pluggable delivery fabrics.
 
-Plays the role of NVFlare's gRPC/TLS channel in the simulator.  Every
-message body is real bytes (the Shareable's DXO payload is npz-encoded) and
-carries an HMAC-SHA256 tag under the session key established at
-registration, so the protocol steps — serialize, sign, enqueue, dequeue,
-verify, deserialize — all actually run.
+Plays the role of NVFlare's gRPC/TLS channel.  Every message body is real
+bytes (the Shareable's DXO payload is RTC1/npz-encoded) and carries an
+HMAC-SHA256 tag under the session key established at registration, so the
+protocol steps — serialize, sign, dispatch, dequeue, verify, deserialize —
+all actually run.
+
+Two fabrics implement the :class:`Transport` contract:
+
+- :class:`MessageBus` — the in-memory fast path: per-participant queues in
+  one process (the historical simulator transport).
+- :class:`~repro.flare.socket_transport.SocketMessageBus` — length-prefixed
+  binary frames over TCP loopback, one node per process, used by the
+  process-per-client runner (``SimulatorRunner(transport="socket")``).
+
+Everything above the seam — retry/backoff, message-id dedup, fault
+injection, compression filters, telemetry, the health monitor — is written
+against :class:`Transport` and behaves identically on both fabrics (pinned
+by ``tests/flare/test_transport_conformance.py``).
 
 Reliability layer: every send carries an idempotency header
 (``ReservedKey.MSG_ID``, stable across resends) plus an attempt counter, the
 receive path deduplicates replayed/duplicated message ids after signature
 verification, and :func:`send_with_retry` adds bounded exponential backoff
-on top for lossy buses (see ``faults.FaultyMessageBus``).
+on top for lossy fabrics (see ``faults.FaultyMessageBus``).
 """
 
 from __future__ import annotations
@@ -28,8 +41,9 @@ from .constants import ReservedKey
 from .security import hmac_sign, hmac_verify
 from .shareable import Shareable
 
-__all__ = ["Message", "MessageBus", "TransportError", "ReceiveTimeout",
-           "SignatureError", "RetryPolicy", "send_with_retry"]
+__all__ = ["Message", "Transport", "BaseTransport", "MessageBus",
+           "TransportError", "ReceiveTimeout", "SignatureError", "RetryPolicy",
+           "send_with_retry"]
 
 # How many message ids each endpoint remembers for replay/duplicate detection.
 _DEDUP_WINDOW = 4096
@@ -40,7 +54,28 @@ class TransportError(RuntimeError):
 
 
 class ReceiveTimeout(TransportError):
-    """No message arrived within the receive timeout."""
+    """No message arrived within the receive timeout.
+
+    Carries the waiting endpoint plus — when the caller described what it
+    was waiting for — the expected topic and peer, so a timeout deep in a
+    round surfaces *which* conversation stalled instead of a bare count of
+    seconds.
+    """
+
+    def __init__(self, endpoint: str, timeout: float | None,
+                 topic: str | None = None, peer: str | None = None) -> None:
+        self.endpoint = endpoint
+        self.timeout = timeout
+        self.topic = topic
+        self.peer = peer
+        waiting = f"no message for {endpoint!r}"
+        if topic is not None and peer is not None:
+            waiting += f" (expected topic {topic!r} from {peer!r})"
+        elif topic is not None:
+            waiting += f" (expected topic {topic!r})"
+        elif peer is not None:
+            waiting += f" (expected sender {peer!r})"
+        super().__init__(f"{waiting} within {timeout}s")
 
 
 class SignatureError(TransportError):
@@ -91,7 +126,7 @@ class RetryPolicy:
         return min(self.base_delay * self.multiplier ** attempt, self.max_delay)
 
 
-def send_with_retry(bus: "MessageBus", sender: str, recipient: str, topic: str,
+def send_with_retry(bus: "Transport", sender: str, recipient: str, topic: str,
                     shareable: Shareable,
                     policy: RetryPolicy | None = None) -> int:
     """Send with bounded exponential backoff; returns the attempts used.
@@ -137,26 +172,76 @@ def _decode_shareable(blob: bytes) -> Shareable:
     return shareable
 
 
-class MessageBus:
-    """Per-participant queues with HMAC signing on every delivery.
+class Transport:
+    """The contract every delivery fabric implements.
 
-    Session keys are installed by the server when a client registers; traffic
-    to or from a participant without a key is rejected, which is how the
-    simulator enforces the "provision before train" ordering.
+    An instance is a *node*: it hosts some set of local endpoints (whose
+    inboxes it owns) and knows how to route envelopes toward everyone else.
+    The in-memory bus is one node hosting every participant; a socket
+    deployment has one node per process.
 
-    Every send is stamped with a message id (per-sender sequence, so ids are
-    deterministic under threaded sends) and an attempt counter; ``receive``
-    drops already-seen ids, which makes resends and replay attacks
-    exactly-once at the application layer.
+    The contract, pinned by the conformance suite:
+
+    - ``send_shareable`` serializes, signs with the *sender's* session key
+      and dispatches; it raises :class:`TransportError` when the node cannot
+      route to the recipient or the sender holds no key.
+    - ``receive`` verifies the sender's signature (:class:`SignatureError`
+      on mismatch), drops already-seen message ids, and raises
+      :class:`ReceiveTimeout` — with the waited endpoint/topic/peer — on an
+      exhausted deadline.
+    - deliveries between one sender/recipient pair stay FIFO-ordered.
+    - resends carrying the same ``msg_id`` are delivered at most once.
+    """
+
+    metrics: MetricsRegistry
+
+    def register_endpoint(self, name: str) -> None:
+        """Declare ``name`` as an endpoint hosted by (or known to) this node."""
+        raise NotImplementedError
+
+    def install_session_key(self, name: str, key: bytes) -> None:
+        raise NotImplementedError
+
+    def session_key(self, name: str) -> bytes | None:
+        raise NotImplementedError
+
+    def next_msg_id(self, sender: str) -> str:
+        raise NotImplementedError
+
+    def send_shareable(self, sender: str, recipient: str, topic: str,
+                       shareable: Shareable, msg_id: str | None = None,
+                       attempt: int = 0) -> None:
+        raise NotImplementedError
+
+    def receive(self, name: str, timeout: float | None = 10.0, *,
+                topic: str | None = None,
+                peer: str | None = None) -> tuple[str, str, Shareable]:
+        raise NotImplementedError
+
+    def pending(self, name: str) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release sockets/threads; a no-op for in-memory fabrics."""
+
+
+class BaseTransport(Transport):
+    """Shared envelope layer: keys, signing, msg-id sequencing, dedup, metrics.
+
+    Subclasses provide the delivery fabric by implementing
+    :meth:`_dispatch` (route one signed envelope toward its recipient) and
+    :meth:`_next_message` (pop the next envelope addressed to a local
+    endpoint, or ``None`` on timeout).
     """
 
     def __init__(self) -> None:
-        self._queues: dict[str, "queue.Queue[Message]"] = {}
         self._session_keys: dict[str, bytes] = {}
         self._lock = threading.Lock()
         self._send_seq: dict[str, int] = {}
         self._seen_ids: dict[str, OrderedDict] = {}
-        # Every bus owns an always-enabled registry: delivery totals must be
+        self._endpoints: set[str] = set()
+        self._peers: set[str] = set()
+        # Every node owns an always-enabled registry: delivery totals must be
         # available (RunStats copies them) whether or not a telemetry
         # session is active.  A session merges this registry into the run's
         # metrics.json at export time.
@@ -190,12 +275,28 @@ class MessageBus:
     # ------------------------------------------------------------------
     def register_endpoint(self, name: str) -> None:
         with self._lock:
-            self._queues.setdefault(name, queue.Queue())
+            self._endpoints.add(name)
             self._seen_ids.setdefault(name, OrderedDict())
+        self._on_endpoint_registered(name)
+
+    def _on_endpoint_registered(self, name: str) -> None:
+        """Fabric hook: allocate per-endpoint delivery state."""
+
+    def register_peer(self, name: str) -> None:
+        """Declare a *remote* participant this node must verify traffic from.
+
+        No inbox is allocated — the name only becomes eligible for
+        :meth:`install_session_key`.  Multi-node fabrics use this for
+        counterpart identities (a client node registers the server as a
+        peer); on the single-node in-memory bus it is rarely needed because
+        every participant is a local endpoint.
+        """
+        with self._lock:
+            self._peers.add(name)
 
     def install_session_key(self, name: str, key: bytes) -> None:
         with self._lock:
-            if name not in self._queues:
+            if name not in self._endpoints and name not in self._peers:
                 raise TransportError(f"unknown endpoint {name!r}")
             self._session_keys[name] = key
 
@@ -214,7 +315,7 @@ class MessageBus:
     def send_shareable(self, sender: str, recipient: str, topic: str,
                        shareable: Shareable, msg_id: str | None = None,
                        attempt: int = 0) -> None:
-        """Serialize, sign with the sender's session key and enqueue.
+        """Serialize, sign with the sender's session key and dispatch.
 
         ``msg_id`` defaults to a fresh id; retries must pass the original id
         (see :func:`send_with_retry`) so the receiver can deduplicate.
@@ -233,39 +334,40 @@ class MessageBus:
         message.signature = hmac_sign(message.signed_payload(), key)
         if attempt > 0:
             self._retries.inc()
-        self._enqueue(message)
+        self._dispatch(message)
 
-    def _enqueue(self, message: Message) -> None:
-        """Deliver one signed envelope (fault-injecting buses override this)."""
-        with self._lock:
-            if message.recipient not in self._queues:
-                raise TransportError(f"unknown recipient {message.recipient!r}")
-            self._queues[message.recipient].put(message)
+    def _dispatch(self, message: Message) -> None:
+        """Route one signed envelope toward its recipient."""
+        raise NotImplementedError
+
+    def _count_delivery(self, message: Message) -> None:
+        """Account one envelope handled by this node (send or local arrival)."""
         self._messages_delivered.inc()
         self._bytes_delivered.inc(len(message.body))
         self.metrics.counter("transport.messages", topic=message.topic).inc()
         self.metrics.counter("transport.bytes", topic=message.topic).inc(len(message.body))
 
-    def receive(self, name: str, timeout: float | None = 10.0) -> tuple[str, str, Shareable]:
+    # ------------------------------------------------------------------
+    def receive(self, name: str, timeout: float | None = 10.0, *,
+                topic: str | None = None,
+                peer: str | None = None) -> tuple[str, str, Shareable]:
         """Dequeue, verify signature, deduplicate, deserialize.
 
         Returns ``(sender, topic, shareable)``.  Duplicated or replayed
         message ids are skipped (the wait continues against the original
         deadline); a bad signature raises :class:`SignatureError` and an
-        exhausted deadline raises :class:`ReceiveTimeout`.
+        exhausted deadline raises :class:`ReceiveTimeout` naming the waiting
+        endpoint plus the optional expected ``topic``/``peer`` context.
         """
         with self._lock:
-            if name not in self._queues:
+            if name not in self._endpoints:
                 raise TransportError(f"unknown endpoint {name!r}")
-            q = self._queues[name]
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-            try:
-                message = q.get(timeout=remaining)
-            except queue.Empty as error:
-                raise ReceiveTimeout(
-                    f"no message for {name!r} within {timeout}s") from error
+            message = self._next_message(name, remaining)
+            if message is None:
+                raise ReceiveTimeout(name, timeout, topic=topic, peer=peer)
             key = self.session_key(message.sender)
             if key is None or not hmac_verify(message.signed_payload(), message.signature, key):
                 raise SignatureError(
@@ -282,6 +384,10 @@ class MessageBus:
                     max(time.monotonic() - send_ts, 0.0))
             return message.sender, message.topic, _decode_shareable(message.body)
 
+    def _next_message(self, name: str, remaining: float | None) -> Message | None:
+        """Pop the next envelope for local endpoint ``name``; None on timeout."""
+        raise NotImplementedError
+
     def _mark_seen(self, name: str, msg_id: str) -> bool:
         """Record ``msg_id`` for ``name``; False when it was already seen."""
         with self._lock:
@@ -292,6 +398,48 @@ class MessageBus:
             while len(seen) > _DEDUP_WINDOW:
                 seen.popitem(last=False)
             return True
+
+
+class MessageBus(BaseTransport):
+    """Per-participant queues with HMAC signing on every delivery.
+
+    Session keys are installed by the server when a client registers; traffic
+    to or from a participant without a key is rejected, which is how the
+    simulator enforces the "provision before train" ordering.
+
+    Every send is stamped with a message id (per-sender sequence, so ids are
+    deterministic under threaded sends) and an attempt counter; ``receive``
+    drops already-seen ids, which makes resends and replay attacks
+    exactly-once at the application layer.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queues: dict[str, "queue.Queue[Message]"] = {}
+
+    # ------------------------------------------------------------------
+    def _on_endpoint_registered(self, name: str) -> None:
+        with self._lock:
+            self._queues.setdefault(name, queue.Queue())
+
+    def _dispatch(self, message: Message) -> None:
+        self._enqueue(message)
+
+    def _enqueue(self, message: Message) -> None:
+        """Deliver one signed envelope (fault-injecting buses override this)."""
+        with self._lock:
+            if message.recipient not in self._queues:
+                raise TransportError(f"unknown recipient {message.recipient!r}")
+            self._queues[message.recipient].put(message)
+        self._count_delivery(message)
+
+    def _next_message(self, name: str, remaining: float | None) -> Message | None:
+        with self._lock:
+            q = self._queues[name]
+        try:
+            return q.get(timeout=remaining)
+        except queue.Empty:
+            return None
 
     def pending(self, name: str) -> int:
         with self._lock:

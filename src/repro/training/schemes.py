@@ -107,7 +107,8 @@ def run_federated(model_factory: ModelFactory,
                   seed: int = 0, job_name: str = "clinical-fl",
                   threads: bool = True, run_dir=None,
                   task_result_filters=None, class_weights=None,
-                  fedprox_mu: float = 0.0) -> FederatedResult:
+                  fedprox_mu: float = 0.0,
+                  transport: str | None = None) -> FederatedResult:
     """The paper's FL scheme: ScatterAndGather over the site shards."""
     site_names = sorted(shards)
 
@@ -135,7 +136,8 @@ def run_federated(model_factory: ModelFactory,
                 evaluator=evaluator,
                 task_result_filters=list(task_result_filters or []))
     runner = SimulatorRunner(job, n_clients=len(site_names), seed=seed,
-                             threads=threads, run_dir=run_dir)
+                             threads=threads, run_dir=run_dir,
+                             transport=transport)
     simulation = runner.run()
     history = simulation.stats.global_metric_history("valid_acc")
     return FederatedResult(final_acc=history[-1] if history else 0.0,
@@ -161,7 +163,8 @@ def run_federated_mlm(model_factory: ModelFactory,
                       valid: SequenceDataset, collator: MlmCollator,
                       num_rounds: int = 10, local_epochs: int = 1,
                       batch_size: int = 32, lr: float = 1e-3, seed: int = 0,
-                      job_name: str = "mlm-fl", threads: bool = True
+                      job_name: str = "mlm-fl", threads: bool = True,
+                      transport: str | None = None
                       ) -> tuple[list[float], SimulationResult]:
     """Federated MLM pretraining; returns per-round global MLM loss."""
     eval_model = model_factory()
@@ -183,6 +186,7 @@ def run_federated_mlm(model_factory: ModelFactory,
                 learner_factory=learner_factory,
                 num_rounds=num_rounds,
                 evaluator=evaluator)
-    runner = SimulatorRunner(job, n_clients=len(shards), seed=seed, threads=threads)
+    runner = SimulatorRunner(job, n_clients=len(shards), seed=seed,
+                             threads=threads, transport=transport)
     simulation = runner.run()
     return simulation.stats.global_metric_history("mlm_loss"), simulation
