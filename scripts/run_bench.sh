@@ -7,15 +7,16 @@
 # absolute step times drift by tens of percent between time windows, so only
 # back-to-back pairs produce trustworthy ratios; the report keeps every round
 # and summarises min- and median-based speedups.  The fused-vs-reference op
-# microbenchmark and the wire benchmark (codec throughput + federated
-# bytes-per-round per compression setting) run once on the candidate side.
+# microbenchmark, the wire benchmark (codec throughput + federated
+# bytes-per-round per compression setting) and the parallel serial-vs-pool
+# A/B (scripts/bench_smoke.py) run once on the candidate side.
 #
 # Usage:
 #   scripts/run_bench.sh
 #
 # Environment:
 #   BENCH_PR      PR number being benchmarked; names the output file and picks
-#                 the default baseline ("PR <N-1>:" commit) (default: 4)
+#                 the default baseline ("PR <N-1>:" commit) (default: 7)
 #   BASELINE_REF  git rev to benchmark against (default: the "PR <N-1>:" commit)
 #   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
 #   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
@@ -26,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-4}"
+BENCH_PR="${BENCH_PR:-7}"
 BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep="^PR $((BENCH_PR - 1)):" -n 1)}"
 if [ -z "$BASELINE_REF" ]; then
     echo "error: could not resolve baseline rev; set BASELINE_REF" >&2
@@ -67,6 +68,12 @@ PYTHONPATH="src" python -m pytest benchmarks/test_fused_ops_microbench.py \
 echo "wire bench (codec throughput + federated bytes/round)" >&2
 PYTHONPATH="src" python -m pytest benchmarks/test_wire_bench.py \
     -q --benchmark-json="$WORK/wire.json" >/dev/null
+
+echo "parallel bench (serial vs shm worker pool)" >&2
+# candidate side only; registration is skipped here because the combined
+# report is registered below
+python scripts/bench_smoke.py --run-dir "$WORK/parallel-runs" \
+    --out "$WORK/parallel.json" --registry "" >/dev/null
 
 PYTHONPATH="src" python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" "$BENCH_PR" <<'EOF'
 import json
@@ -178,6 +185,17 @@ for model, settings in federation_out.items():
         registry.gauge("bench.wire_bytes_per_round", model=model,
                        compression=setting).set(entry["bytes_per_round_steady"])
 
+# Parallel serial-vs-pool A/B (bench_smoke.py output, candidate side only):
+# keep the protocol/wallclock/determinism sections; its metrics registry is
+# folded into the shared registry below.
+with open(f"{work}/parallel.json") as fh:
+    parallel_report = json.load(fh)
+parallel_out = {key: parallel_report[key]
+                for key in ("protocol", "wallclock", "determinism")
+                if key in parallel_report}
+if isinstance(parallel_report.get("metrics"), dict):
+    registry.merge_dict(parallel_report["metrics"])
+
 head = subprocess.run(["git", "rev-parse", "HEAD"], capture_output=True,
                       text=True).stdout.strip()
 report = {
@@ -199,6 +217,7 @@ report = {
         "codec": codec_out,
         "federation_bytes_per_round": federation_out,
     },
+    "parallel": parallel_out,
     "metrics": registry.to_dict(),
     "rounds": rounds_out,
 }
@@ -212,6 +231,10 @@ for model, settings in federation_out.items():
     best = max((e.get("reduction_vs_none", 1.0) for e in settings.values()),
                default=1.0)
     print(f"  wire {model}: best bytes/round reduction {best}x")
+wallclock = parallel_out.get("wallclock", {})
+if wallclock:
+    print(f"  parallel: pool vs serial best {wallclock['speedup_best']}x "
+          f"(cores={parallel_out['protocol']['cores']})")
 EOF
 
 # Register the report in the run registry so it shows up in

@@ -10,6 +10,16 @@ from ._malloc import tune_malloc
 tune_malloc()  # keep large numpy temporaries on the heap (see _malloc.py)
 
 from . import functional, init, reference
+from ._blas import blas_thread_info, get_blas_threads, set_blas_threads
+from .backend import (
+    ArrayBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_backend,
+    use_backend,
+)
 from .clip import clip_grad_norm, clip_grad_value, grad_global_norm
 from .module import Module, ModuleList, Parameter
 from .numerical import check_gradients, numerical_grad
@@ -49,4 +59,7 @@ __all__ = [
     "save_state_dict", "load_state_dict", "state_dict_to_bytes", "state_dict_from_bytes",
     "check_gradients", "numerical_grad",
     "functional", "init", "reference", "tune_malloc",
+    "ArrayBackend", "active_backend", "available_backends", "get_backend",
+    "register_backend", "set_backend", "use_backend",
+    "blas_thread_info", "get_blas_threads", "set_blas_threads",
 ]

@@ -24,11 +24,25 @@ _M_MMAP_THRESHOLD = -3
 _THRESHOLD_BYTES = 1 << 26  # 64 MB: well above any per-op buffer we allocate
 
 _applied = False
+_at_fork_registered = False
+
+
+def _reapply_after_fork() -> None:
+    """Re-run the tuning in a freshly-forked child.
+
+    glibc nominally copies ``mallopt`` state across ``fork``, but the
+    process-per-client runner must not depend on that: the child resets the
+    applied flag and tunes again, so a worker forked before (or regardless
+    of) the parent's call still trains with the thresholds raised.
+    """
+    global _applied
+    _applied = False
+    tune_malloc()
 
 
 def tune_malloc() -> bool:
     """Raise glibc's mmap/trim thresholds; returns True if applied."""
-    global _applied
+    global _applied, _at_fork_registered
     if _applied:
         return True
     if os.environ.get("REPRO_NO_MALLOC_TUNE"):
@@ -42,6 +56,9 @@ def tune_malloc() -> bool:
         ok = bool(libc.mallopt(_M_MMAP_THRESHOLD, _THRESHOLD_BYTES))
         ok = bool(libc.mallopt(_M_TRIM_THRESHOLD, _THRESHOLD_BYTES)) and ok
         _applied = ok
+        if ok and not _at_fork_registered:
+            os.register_at_fork(after_in_child=_reapply_after_fork)
+            _at_fork_registered = True
         return ok
     except Exception:
         return False

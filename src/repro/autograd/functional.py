@@ -20,6 +20,8 @@ import math
 
 import numpy as np
 
+from . import backend as _backend
+from .backend import _mean_cols, _red_vec, _red_vec_cache, _sum_cols  # noqa: F401
 from .tensor import Tensor, get_default_dtype
 
 __all__ = [
@@ -57,52 +59,23 @@ def _as_tensor(x) -> Tensor:
     return x if isinstance(x, Tensor) else Tensor(x)
 
 
-# Cached broadcast vectors for GEMV-based row reductions.  A (rows, n) @ (n,)
-# matrix-vector product computes all row sums/means ~6x faster than
-# ``.sum(axis=-1)``'s strided reduce on the short rows used here.
-_red_vec_cache: dict[tuple[int, str, bool], np.ndarray] = {}
-
-
-def _red_vec(n: int, dtype: np.dtype, mean: bool) -> np.ndarray:
-    key = (n, dtype.str, mean)
-    vec = _red_vec_cache.get(key)
-    if vec is None:
-        vec = np.full((n,), 1.0 / n if mean else 1.0, dtype=dtype)
-        _red_vec_cache[key] = vec
-    return vec
-
-
-def _sum_cols(a2d: np.ndarray) -> np.ndarray:
-    """Row sums of a 2-d array as a (rows, 1) column, via GEMV."""
-    return (a2d @ _red_vec(a2d.shape[-1], a2d.dtype, False))[:, None]
-
-
-def _mean_cols(a2d: np.ndarray) -> np.ndarray:
-    """Row means of a 2-d array as a (rows, 1) column, via GEMV."""
-    return (a2d @ _red_vec(a2d.shape[-1], a2d.dtype, True))[:, None]
+# The GEMV reduction helpers (_red_vec/_sum_cols/_mean_cols) live in
+# ``backend.py`` and are re-imported above: the softmax kernels need them
+# and the layer-norm bodies below still call them directly.
 
 
 def _softmax_into(owned: np.ndarray, axis: int = -1) -> np.ndarray:
     """Numerically-stable softmax computed fully in place on ``owned``.
 
     Only call this on a buffer the caller allocated itself (e.g. fresh GEMM
-    output) — the input values are destroyed.
+    output) — the input values are destroyed.  Dispatches through the
+    active array backend (:mod:`repro.autograd.backend`).
     """
-    owned -= owned.max(axis=axis, keepdims=True)
-    np.exp(owned, out=owned)
-    if axis == -1 and owned.flags.c_contiguous:
-        flat = owned.reshape(-1, owned.shape[-1])
-        flat /= _sum_cols(flat)
-    else:
-        owned /= owned.sum(axis=axis, keepdims=True)
-    return owned
+    return _backend._ACTIVE.softmax_into(owned, axis)
 
 
 def _stable_softmax(data: np.ndarray, axis: int) -> np.ndarray:
-    shifted = data - data.max(axis=axis, keepdims=True)
-    np.exp(shifted, out=shifted)
-    shifted /= shifted.sum(axis=axis, keepdims=True)
-    return shifted
+    return _backend._ACTIVE.stable_softmax(data, axis)
 
 
 def _dropout_keep(rng: np.random.Generator, shape, p: float, dtype) -> np.ndarray:
@@ -296,38 +269,19 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray,
 
 
 def _gelu_forward(data: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Tanh-approximation GELU on raw numpy: ``(out, tanh_term, x_squared)``.
+    """Tanh-approximation GELU: ``(out, tanh_term, x_squared)``.
 
-    Built from in-place multiplies — ``x*x*x`` beats ``np.power`` by ~80x on
-    float32, and reusing the temporaries halves the memory traffic of the
-    naive expression.  ``x_squared`` is kept so the backward pass skips
-    recomputing it.
+    The kernel body lives on the active array backend
+    (:meth:`~repro.autograd.backend.ArrayBackend.gelu_forward`);
+    ``x_squared`` is kept so the backward pass skips recomputing it.
     """
-    sq = data * data
-    inner = sq * (_GELU_COEFF * _GELU_CUBIC)
-    inner += _GELU_COEFF
-    inner *= data  # inner = coeff * (x + cubic * x^3)
-    t = np.tanh(inner, out=inner)
-    out = t + 1.0
-    out *= data
-    out *= 0.5
-    return out, t, sq
+    return _backend._ACTIVE.gelu_forward(data)
 
 
 def _gelu_backward(grad: np.ndarray, data: np.ndarray, t: np.ndarray,
                    sq: np.ndarray) -> np.ndarray:
     """d GELU(x) / dx from the saved tanh and square terms, applied to ``grad``."""
-    dinner = sq * (3.0 * _GELU_CUBIC * _GELU_COEFF)
-    dinner += _GELU_COEFF
-    dinner *= data  # dinner = x * d/dx of the tanh argument
-    deriv = t * t
-    np.subtract(1.0, deriv, out=deriv)  # sech^2 = 1 - tanh^2
-    deriv *= dinner
-    deriv += t
-    deriv += 1.0
-    deriv *= 0.5
-    deriv *= grad
-    return deriv
+    return _backend._ACTIVE.gelu_backward(grad, data, t, sq)
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -928,7 +882,7 @@ def tanh_head(x: Tensor, dense_weight: Tensor, dense_bias: Tensor,
     x2d = data.reshape(-1, data.shape[-1])
     hidden = x2d @ dense_weight.data.T
     hidden += dense_bias.data
-    t = np.tanh(hidden, out=hidden)
+    t = _backend._ACTIVE.tanh(hidden, out=hidden)
     if dropout_p > 0.0 and training:
         rng = rng or np.random.default_rng()
         keep = _dropout_keep(rng, t.shape, dropout_p, t.dtype)
@@ -986,13 +940,14 @@ def lstm_step(gates_x: Tensor, h_prev: Tensor, c_prev: Tensor, weight_hh: Tensor
     needs.
     """
     hd = h_prev.shape[-1]
+    bk = _backend._ACTIVE
     gates = gates_x.data + h_prev.data @ weight_hh.data.T
-    i = 1.0 / (1.0 + np.exp(-gates[:, :hd]))
-    f = 1.0 / (1.0 + np.exp(-gates[:, hd:2 * hd]))
-    g = np.tanh(gates[:, 2 * hd:3 * hd])
-    o = 1.0 / (1.0 + np.exp(-gates[:, 3 * hd:]))
+    i = bk.sigmoid(gates[:, :hd])
+    f = bk.sigmoid(gates[:, hd:2 * hd])
+    g = bk.tanh(gates[:, 2 * hd:3 * hd])
+    o = bk.sigmoid(gates[:, 3 * hd:])
     c_new = f * c_prev.data + i * g
-    t = np.tanh(c_new)
+    t = bk.tanh(c_new)
     h_new = o * t
 
     if step_mask is not None:

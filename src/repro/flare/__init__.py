@@ -67,8 +67,9 @@ from .server import AuthenticationError, FLServer
 from .shareable import Shareable, from_dxo, make_reply, to_dxo
 from .shareable_generator import FullModelShareableGenerator
 from .simulator import SimulationResult, SimulatorRunner
+from .shm_transport import ShmMessageBus
 from .socket_transport import SocketMessageBus
-from .runner import ProcessClientRunner
+from .runner import ProcessClientRunner, WorkerRuntime
 from .stats import ClientRoundRecord, RoundRecord, RunStats
 from .transport import (
     BaseTransport,
@@ -94,7 +95,8 @@ __all__ = [
     "ParticipantSpec", "ProjectSpec", "StartupKit", "Provisioner",
     "default_project", "make_join_token",
     "Message", "MessageBus", "TransportError", "ReceiveTimeout", "SignatureError",
-    "Transport", "BaseTransport", "SocketMessageBus", "ProcessClientRunner",
+    "Transport", "BaseTransport", "SocketMessageBus", "ShmMessageBus",
+    "ProcessClientRunner", "WorkerRuntime",
     "RetryPolicy", "send_with_retry",
     "FaultPlan", "FaultInjector", "FaultyMessageBus",
     "Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",

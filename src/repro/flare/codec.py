@@ -55,7 +55,8 @@ from ..obs import metrics as obs_metrics
 from ..obs.metrics import MetricsRegistry
 
 __all__ = [
-    "MAGIC", "ALIGNMENT", "encode_tensors", "decode_tensors",
+    "MAGIC", "ALIGNMENT", "encode_tensors", "encode_tensors_into",
+    "encoded_size", "decode_tensors",
     "encode_tensors_npz", "decode_tensors_npz",
     "wire_metrics", "wire_totals", "reset_wire_metrics",
 ]
@@ -133,6 +134,93 @@ def _unshuffle_bytes(blob: bytes, itemsize: int) -> bytes:
 # ---------------------------------------------------------------------------
 # encode
 # ---------------------------------------------------------------------------
+class _RawPlan:
+    """Layout of one raw (non-deflated) blob, computed before any copying.
+
+    Shared by :func:`encode_tensors`, :func:`encode_tensors_into` and
+    :func:`encoded_size` so a caller that owns the destination buffer (the
+    shared-memory transport writes straight into an mmap) produces bytes
+    bit-identical to the allocate-and-return path.
+    """
+
+    __slots__ = ("normalized", "specs", "manifest_bytes", "block_start",
+                 "total", "raw_payload")
+
+    def __init__(self, arrays: Mapping[str, Any],
+                 extra: Mapping[str, Any] | None) -> None:
+        self.normalized: "OrderedDict[str, np.ndarray]" = OrderedDict(
+            (str(key), _normalize(value)) for key, value in arrays.items())
+        self.specs = []
+        offset = 0
+        for key, array in self.normalized.items():
+            offset += _pad(offset)
+            self.specs.append({
+                "name": key,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+            })
+            offset += array.nbytes
+        raw_block_len = offset
+        self.raw_payload = sum(spec["nbytes"] for spec in self.specs)
+        manifest: dict[str, Any] = {
+            "v": 1,
+            "extra": dict(extra or {}),
+            "tensors": self.specs,
+            "raw_block_len": raw_block_len,
+            "transform": None,
+            "block_len": raw_block_len,
+        }
+        self.manifest_bytes = json.dumps(manifest).encode("utf-8")
+        head_len = len(MAGIC) + 4 + len(self.manifest_bytes)
+        self.block_start = head_len + _pad(head_len)
+        self.total = self.block_start + raw_block_len
+
+    def write(self, view: memoryview) -> int:
+        """Write the full blob into ``view``; returns the bytes written."""
+        view[:4] = MAGIC
+        struct.pack_into("<I", view, 4, len(self.manifest_bytes))
+        view[8:8 + len(self.manifest_bytes)] = self.manifest_bytes
+        for spec, array in zip(self.specs, self.normalized.values()):
+            if not array.nbytes:
+                continue
+            start = self.block_start + spec["offset"]
+            destination = np.frombuffer(view[start:start + spec["nbytes"]],
+                                        dtype=array.dtype).reshape(array.shape)
+            np.copyto(destination, array)
+        return self.total
+
+
+def encoded_size(arrays: Mapping[str, Any],
+                 extra: Mapping[str, Any] | None = None) -> int:
+    """Exact byte length :func:`encode_tensors` (raw) would produce."""
+    return _RawPlan(arrays, extra).total
+
+
+def encode_tensors_into(arrays: Mapping[str, Any], buffer,
+                        extra: Mapping[str, Any] | None = None) -> int:
+    """Encode straight into a caller-owned writable buffer (no allocation).
+
+    ``buffer`` is anything supporting the writable buffer protocol — an
+    mmap, a ``bytearray``, a shared-memory block — of at least
+    :func:`encoded_size` bytes.  The bytes written are bit-identical to
+    ``encode_tensors(arrays, extra)``; returns the length used.  This is
+    the zero-extra-copy path the shared-memory transport uses: each tensor
+    is copied exactly once, from its source array into the destination.
+    """
+    started = time.perf_counter()
+    plan = _RawPlan(arrays, extra)
+    view = memoryview(buffer)
+    if len(view) < plan.total:
+        raise ValueError(f"destination buffer of {len(view)} byte(s) cannot "
+                         f"hold a {plan.total}-byte blob")
+    written = plan.write(view[:plan.total])
+    _account("encode", "raw", plan.raw_payload, written,
+             time.perf_counter() - started)
+    return written
+
+
 def encode_tensors(arrays: Mapping[str, Any], extra: Mapping[str, Any] | None = None,
                    deflate: bool = False) -> bytes:
     """Pack named arrays (plus a JSON ``extra`` document) into one blob.
@@ -143,71 +231,31 @@ def encode_tensors(arrays: Mapping[str, Any], extra: Mapping[str, Any] | None = 
     compressed — smaller, but no longer zero-copy.
     """
     started = time.perf_counter()
-    normalized: "OrderedDict[str, np.ndarray]" = OrderedDict(
-        (str(key), _normalize(value)) for key, value in arrays.items())
-
-    manifest_tensors = []
-    offset = 0
-    for key, array in normalized.items():
-        offset += _pad(offset)
-        manifest_tensors.append({
-            "name": key,
-            "dtype": array.dtype.str,
-            "shape": list(array.shape),
-            "offset": offset,
-            "nbytes": int(array.nbytes),
-        })
-        offset += array.nbytes
-    raw_block_len = offset
-    # accounting counts tensor payload only (no alignment padding), matching
-    # what decode reports, so encode/decode totals line up
-    raw_payload = sum(spec["nbytes"] for spec in manifest_tensors)
-
-    manifest: dict[str, Any] = {
-        "v": 1,
-        "extra": dict(extra or {}),
-        "tensors": manifest_tensors,
-        "raw_block_len": raw_block_len,
-    }
+    plan = _RawPlan(arrays, extra)
 
     if deflate:
         chunks = []
         position = 0
-        for spec, array in zip(manifest_tensors, normalized.values()):
+        for spec, array in zip(plan.specs, plan.normalized.values()):
             chunks.append(b"\x00" * (spec["offset"] - position))
             chunks.append(_shuffle_bytes(array))
             position = spec["offset"] + spec["nbytes"]
         block = zlib.compress(b"".join(chunks), level=6)
+        manifest = json.loads(plan.manifest_bytes)
         manifest["transform"] = "shuffle-deflate"
         manifest["block_len"] = len(block)
         manifest_bytes = json.dumps(manifest).encode("utf-8")
         head = MAGIC + struct.pack("<I", len(manifest_bytes)) + manifest_bytes
         blob = head + b"\x00" * _pad(len(head)) + block
-        _account("encode", "raw+deflate", raw_payload, len(blob),
+        _account("encode", "raw+deflate", plan.raw_payload, len(blob),
                  time.perf_counter() - started)
         return blob
 
-    manifest["transform"] = None
-    manifest["block_len"] = raw_block_len
-    manifest_bytes = json.dumps(manifest).encode("utf-8")
-    head_len = len(MAGIC) + 4 + len(manifest_bytes)
-    block_start = head_len + _pad(head_len)
-    total = block_start + raw_block_len
-
-    buffer = bytearray(total)
-    buffer[:4] = MAGIC
-    struct.pack_into("<I", buffer, 4, len(manifest_bytes))
-    buffer[8:8 + len(manifest_bytes)] = manifest_bytes
-    view = memoryview(buffer)
-    for spec, array in zip(manifest_tensors, normalized.values()):
-        if not array.nbytes:
-            continue
-        start = block_start + spec["offset"]
-        destination = np.frombuffer(view[start:start + spec["nbytes"]],
-                                    dtype=array.dtype).reshape(array.shape)
-        np.copyto(destination, array)
+    buffer = bytearray(plan.total)
+    plan.write(memoryview(buffer))
     blob = bytes(buffer)
-    _account("encode", "raw", raw_payload, len(blob), time.perf_counter() - started)
+    _account("encode", "raw", plan.raw_payload, len(blob),
+             time.perf_counter() - started)
     return blob
 
 

@@ -59,8 +59,10 @@ class FLJob:
     transport:
         Which fabric carries the job's messages: ``"memory"`` (threaded
         clients on the in-process bus), ``"socket"`` (one OS process per
-        client over TCP loopback), or ``None`` to let ``SimulatorRunner``
-        decide (its own ``transport=`` argument overrides this).
+        client over TCP loopback), ``"shm"`` (one OS process per client
+        over fork-inherited shared memory — the persistent worker pool),
+        or ``None`` to let ``SimulatorRunner`` decide (its own
+        ``transport=`` argument overrides this).
     """
 
     name: str
@@ -81,9 +83,9 @@ class FLJob:
 
     def __post_init__(self) -> None:
         self.compression = CompressionConfig.from_spec(self.compression)
-        if self.transport not in (None, "memory", "socket"):
-            raise ValueError(
-                f"transport must be 'memory' or 'socket', got {self.transport!r}")
+        if self.transport not in (None, "memory", "socket", "shm"):
+            raise ValueError("transport must be 'memory', 'socket' or "
+                             f"'shm', got {self.transport!r}")
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not self.initial_weights:

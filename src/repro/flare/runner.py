@@ -1,12 +1,21 @@
-"""ProcessClientRunner: one OS process per federated client, over sockets.
+"""ProcessClientRunner: one OS process per federated client.
 
 The deployment shape the paper actually runs — every clinical site is its
-own NVFlare process talking to the server over the network — reproduced
-with :mod:`multiprocessing` and the :class:`~repro.flare.socket_transport
-.SocketMessageBus`.  The parent process hosts the server (hub node +
+own NVFlare process talking to the server — reproduced with
+:mod:`multiprocessing` over either fabric:
+
+- :class:`~repro.flare.socket_transport.SocketMessageBus` — spokes over TCP
+  loopback, the network-realistic path;
+- :class:`~repro.flare.shm_transport.ShmMessageBus` — fork-inherited queues
+  plus mmap'd tensor segments, the fast path for the persistent worker
+  pool (``SimulatorRunner(transport="shm")``).
+
+The parent process hosts the server (hub node +
 :class:`~repro.flare.controller.ScatterAndGather`); each client process
-hosts a spoke node plus a :class:`~repro.flare.client.FederatedClient`
-serving the task loop until the server's ``__stop__`` fan-out.
+hosts a :class:`~repro.flare.client.FederatedClient` serving the task loop
+until the server's ``__stop__`` fan-out.  Workers stay warm across rounds:
+they are forked once per run and keep their learner state, tuned allocator
+and BLAS pool for every round they serve.
 
 Control plane vs data plane: the certificate/nonce registration handshake
 (the Fig. 3 "Token & SSH Protocols" stage) runs in the parent *before* the
@@ -28,20 +37,73 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+import numpy as np
+
 from .client import FederatedClient, session_key_from_token
 from .constants import ReservedKey
 from .filters import CompressionConfig
 from .provision import StartupKit
 from .security import sign
+from .shareable import Shareable
+from .shm_transport import ShmMessageBus
 from .socket_transport import SocketMessageBus
-from .transport import ReceiveTimeout, SignatureError, TransportError
+from .transport import ReceiveTimeout, SignatureError, Transport, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .faults import FaultPlan
     from .learner import Learner
     from .server import FLServer
 
-__all__ = ["ProcessClientRunner", "ClientProcessConfig", "client_process_main"]
+__all__ = ["ProcessClientRunner", "ClientProcessConfig", "WorkerRuntime",
+           "client_process_main", "TELEMETRY_TOPIC"]
+
+# Topic of the child → server snapshot each worker sends after the stop
+# fan-out, carrying its metrics/profile so the parent's report covers the
+# work done in every process.
+TELEMETRY_TOPIC = "__telemetry__"
+
+
+@dataclass
+class WorkerRuntime:
+    """Process-level knobs a forked client worker applies before serving.
+
+    ``fork`` copies the parent's address space but not everything survives
+    meaningfully: glibc's ``mallopt`` state is re-applied via the at-fork
+    hook, while the numpy default dtype, the array backend and the BLAS
+    thread-pool size are plain process state the parent captures here so
+    every worker trains under the same configuration.  ``blas_threads``
+    should be ``recommended_blas_threads(n_workers)`` — N workers each
+    running an M-thread BLAS pool oversubscribe N*M ways otherwise (see
+    ``docs/PERFORMANCE.md``).
+    """
+
+    default_dtype: str | None = None
+    backend: str | None = None
+    blas_threads: int | None = None
+    telemetry: bool = False
+
+    @classmethod
+    def capture(cls, workers: int, telemetry: bool = False) -> "WorkerRuntime":
+        """Snapshot the parent's runtime, splitting BLAS threads ``workers`` ways."""
+        from ..autograd import get_backend, get_default_dtype
+        from ..autograd._blas import recommended_blas_threads
+
+        return cls(default_dtype=np.dtype(get_default_dtype()).name,
+                   backend=get_backend(),
+                   blas_threads=recommended_blas_threads(workers),
+                   telemetry=telemetry)
+
+    def apply(self) -> None:
+        from ..autograd import set_backend, set_default_dtype, tune_malloc
+        from ..autograd._blas import set_blas_threads
+
+        tune_malloc()  # idempotent; the at-fork hook normally beat us here
+        if self.default_dtype is not None:
+            set_default_dtype(self.default_dtype)
+        if self.backend is not None:
+            set_backend(self.backend)
+        if self.blas_threads is not None:
+            set_blas_threads(self.blas_threads)
 
 
 @dataclass
@@ -52,7 +114,9 @@ class ClientProcessConfig:
     token: str
     server_name: str
     server_key: bytes
-    address: tuple[str, int]
+    address: tuple[str, int] | None = None
+    bus: "Transport | None" = None
+    runtime: WorkerRuntime | None = None
     fault_plan: "FaultPlan | None" = None
     compression: CompressionConfig | None = None
     extra_result_filters: list = field(default_factory=list)
@@ -60,20 +124,64 @@ class ClientProcessConfig:
     poll_timeout: float = 1.0
 
 
+def _export_telemetry(bus: Transport, name: str, server_name: str,
+                      registry, profiler) -> None:
+    """Ship this worker's snapshots to the server as one last message."""
+    from .. import obs
+    from . import codec as wire_codec_module
+
+    snapshot = {
+        "client": name,
+        "metrics": registry.to_dict(),
+        "profile": profiler.to_dict(),
+        "transport": bus.metrics.to_dict(),
+        "wire": wire_codec_module.wire_metrics.to_dict(),
+    }
+    try:
+        bus.send_shareable(name, server_name, TELEMETRY_TOPIC,
+                           Shareable({"telemetry": snapshot}))
+    except TransportError:
+        pass  # best-effort: a faulty fabric may eat the goodbye
+
+
 def client_process_main(config: ClientProcessConfig,
                         learner_factory: Callable[[str], "Learner"],
                         gate=None) -> None:
     """Entry point of one client process: connect, serve tasks, exit on stop.
 
-    Mirrors ``FederatedClient.serve_in_thread`` on a spoke node: idle
+    Mirrors ``FederatedClient.serve_in_thread`` on its own node: idle
     receive timeouts keep the loop polling, corrupted frames (bad HMAC) are
     dropped without costing the process, and transport outages ride on the
     spoke's reconnect-with-backoff until the server's stop message lands.
     """
     name = config.kit.participant.name
-    bus = SocketMessageBus.connect(config.address,
-                                   fault_plan=config.fault_plan,
-                                   heartbeat_interval=config.heartbeat_interval)
+    if config.runtime is not None:
+        config.runtime.apply()
+    registry = profiler = previous_registry = None
+    if config.runtime is not None and config.runtime.telemetry:
+        from ..obs import metrics as obs_metrics
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.profiler import OpProfiler, get_profiler
+
+        # fork copies the parent's installed profiler hook; detach that
+        # inherited copy (it records into the parent session's dicts, which
+        # no longer exist here in any useful sense) before arming our own
+        inherited = get_profiler()
+        if inherited is not None:
+            inherited.uninstall()
+        registry = MetricsRegistry()
+        previous_registry = obs_metrics.set_registry(registry)
+        profiler = OpProfiler().install()
+    if config.bus is not None:
+        # fork-inherited fabric (shm): the queues already exist; this
+        # process just claims its endpoint and installs its keys below
+        bus = config.bus
+        owns_bus = False
+    else:
+        bus = SocketMessageBus.connect(config.address,
+                                       fault_plan=config.fault_plan,
+                                       heartbeat_interval=config.heartbeat_interval)
+        owns_bus = True
     try:
         task_data_filters: list = []
         task_result_filters: list = list(config.extra_result_filters)
@@ -105,8 +213,15 @@ def client_process_main(config: ClientProcessConfig,
                     time.sleep(config.poll_timeout)
         finally:
             client.learner.finalize(client.fl_ctx)
+        if registry is not None and profiler is not None:
+            from ..obs import metrics as obs_metrics
+
+            profiler.uninstall()
+            obs_metrics.set_registry(previous_registry)
+            _export_telemetry(bus, name, config.server_name, registry, profiler)
     finally:
-        bus.close()
+        if owns_bus:
+            bus.close()
 
 
 class ProcessClientRunner:
@@ -136,12 +251,16 @@ class ProcessClientRunner:
                  heartbeat_interval: float | None = 2.0,
                  poll_timeout: float = 1.0,
                  start_method: str = "fork",
-                 connect_timeout: float = 30.0) -> None:
+                 connect_timeout: float = 30.0,
+                 runtime: WorkerRuntime | None = None) -> None:
         hub = server.bus
-        if not isinstance(hub, SocketMessageBus):
+        if not isinstance(hub, (SocketMessageBus, ShmMessageBus)):
             raise TypeError("ProcessClientRunner needs the server on a "
-                            "SocketMessageBus hub; got "
+                            "SocketMessageBus or ShmMessageBus hub; got "
                             f"{type(hub).__name__}")
+        if isinstance(hub, ShmMessageBus) and start_method != "fork":
+            raise ValueError("the shm fabric requires start_method='fork' "
+                             "(its queues are inherited, not pickled)")
         if start_method not in multiprocessing.get_all_start_methods():
             raise ValueError(
                 f"start method {start_method!r} unavailable on this platform "
@@ -157,6 +276,7 @@ class ProcessClientRunner:
         self.heartbeat_interval = heartbeat_interval
         self.poll_timeout = poll_timeout
         self.connect_timeout = connect_timeout
+        self.runtime = runtime
         self._ctx = multiprocessing.get_context(start_method)
         self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
         self.tokens: dict[str, str] = {}
@@ -179,7 +299,15 @@ class ProcessClientRunner:
         server_key = self.hub.session_key(self.server.name)
         if server_key is None:
             raise TransportError("server has no session key on the hub")
-        address = self.hub.address
+        shm = isinstance(self.hub, ShmMessageBus)
+        if shm:
+            # the children's inboxes must exist before the fork — a queue
+            # created afterwards would be invisible to every other process
+            address = None
+            for name in client_names:
+                self.hub.register_endpoint(name)
+        else:
+            address = self.hub.address
         # One shared cross-process gate bounds how many sites train at once,
         # mirroring the threaded simulator's max_parallel semaphore.
         gate = (self._ctx.Semaphore(self.max_parallel)
@@ -189,6 +317,8 @@ class ProcessClientRunner:
             config = ClientProcessConfig(
                 kit=self.kits[name], token=token, server_name=self.server.name,
                 server_key=server_key, address=address,
+                bus=self.hub if shm else None,
+                runtime=self.runtime,
                 fault_plan=self.fault_plan, compression=self.compression,
                 extra_result_filters=self.extra_result_filters,
                 heartbeat_interval=self.heartbeat_interval,
@@ -201,6 +331,37 @@ class ProcessClientRunner:
             self._processes[name] = process
         self.hub.wait_for_endpoints(client_names, timeout=self.connect_timeout)
         return dict(self.tokens)
+
+    # ------------------------------------------------------------------
+    def drain_telemetry(self, timeout: float = 10.0) -> dict[str, dict]:
+        """Collect each worker's ``__telemetry__`` snapshot after the stop.
+
+        Call between ``server.stop_clients(...)`` and :meth:`join`: every
+        worker with telemetry armed sends one snapshot on its way out.
+        Returns ``{client_name: snapshot}`` for whoever reported before the
+        deadline — a crashed worker simply has no entry.
+        """
+        snapshots: dict[str, dict] = {}
+        expected = {name for name, process in self._processes.items()}
+        deadline = time.monotonic() + timeout
+        while expected - set(snapshots):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                sender, topic, shareable = self.hub.receive(
+                    self.server.name, timeout=remaining,
+                    topic=TELEMETRY_TOPIC)
+            except (ReceiveTimeout, TransportError):
+                break
+            except SignatureError:
+                continue  # chaos plans may corrupt the goodbye; skip it
+            if topic != TELEMETRY_TOPIC:
+                continue  # stale round traffic; telemetry is all we want now
+            snapshot = shareable.get("telemetry")
+            if isinstance(snapshot, dict):
+                snapshots[sender] = snapshot
+        return snapshots
 
     # ------------------------------------------------------------------
     def alive(self) -> list[str]:

@@ -33,7 +33,9 @@ __all__ = [
     "Certificate",
     "CertificateAuthority",
     "hmac_sign",
+    "hmac_sign_parts",
     "hmac_verify",
+    "hmac_verify_parts",
 ]
 
 _SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
@@ -195,5 +197,23 @@ def hmac_sign(payload: bytes, session_key: bytes) -> str:
     return hmac.new(session_key, payload, hashlib.sha256).hexdigest()
 
 
+def hmac_sign_parts(parts, session_key: bytes) -> str:
+    """HMAC-SHA256 over concatenated buffer ``parts`` without joining them.
+
+    Equivalent to ``hmac_sign(b"".join(parts), key)`` but feeds each part —
+    bytes or memoryview — into the digest incrementally, so a message body
+    living in shared memory is hashed in place instead of being copied into
+    a throwaway concatenation.
+    """
+    mac = hmac.new(session_key, digestmod=hashlib.sha256)
+    for part in parts:
+        mac.update(part)
+    return mac.hexdigest()
+
+
 def hmac_verify(payload: bytes, tag: str, session_key: bytes) -> bool:
     return hmac.compare_digest(hmac_sign(payload, session_key), tag)
+
+
+def hmac_verify_parts(parts, tag: str, session_key: bytes) -> bool:
+    return hmac.compare_digest(hmac_sign_parts(parts, session_key), tag)

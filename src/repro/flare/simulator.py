@@ -30,8 +30,9 @@ from .fl_context import FLContext
 from .job import FLJob
 from .persistor import ModelPersistor
 from .provision import Provisioner, default_project
-from .runner import ProcessClientRunner
+from .runner import ProcessClientRunner, WorkerRuntime
 from .server import FLServer
+from .shm_transport import ShmMessageBus
 from .socket_transport import SocketMessageBus
 from .stats import RunStats
 from .transport import MessageBus, Transport
@@ -71,14 +72,16 @@ class SimulatorRunner:
             raise ValueError("max_parallel must be positive")
         # Which fabric carries the job: "memory" = threaded clients on the
         # in-process bus, "socket" = one OS process per client over TCP
-        # loopback.  The runner argument overrides the job's setting.
+        # loopback, "shm" = one OS process per client over the fork-
+        # inherited shared-memory fabric (the persistent worker pool).
+        # The runner argument overrides the job's setting.
         self.transport = transport or job.transport or "memory"
-        if self.transport not in ("memory", "socket"):
-            raise ValueError(
-                f"transport must be 'memory' or 'socket', got {self.transport!r}")
-        if self.transport == "socket" and not threads:
-            raise ValueError("transport='socket' requires threads=True "
-                             "(clients run in their own processes)")
+        if self.transport not in ("memory", "socket", "shm"):
+            raise ValueError("transport must be 'memory', 'socket' or "
+                             f"'shm', got {self.transport!r}")
+        if self.transport in ("socket", "shm") and not threads:
+            raise ValueError(f"transport={self.transport!r} requires "
+                             "threads=True (clients run in their own processes)")
         self.job = job
         self.n_clients = n_clients
         self.seed = seed
@@ -152,6 +155,10 @@ class SimulatorRunner:
             # Hub node: listens on loopback, routes frames between the
             # server endpoint (local) and the per-process client spokes.
             bus = SocketMessageBus(fault_plan=self.fault_plan)
+        elif self.transport == "shm":
+            # One fabric shared by parent and forked workers: queues for
+            # control, mmap'd /dev/shm segments for tensor bodies.
+            bus = ShmMessageBus(fault_plan=self.fault_plan)
         else:
             bus = (FaultyMessageBus(self.fault_plan)
                    if self.fault_plan is not None else MessageBus())
@@ -161,13 +168,15 @@ class SimulatorRunner:
         clients: list[FederatedClient] = []
         runner: ProcessClientRunner | None = None
         client_names = [spec.name for spec in project.clients]
-        if self.transport == "socket":
+        if self.transport in ("socket", "shm"):
             runner = ProcessClientRunner(
                 self.job.learner_factory, kits, server,
                 compression=self.compression,
                 extra_result_filters=list(self.job.task_result_filters),
                 fault_plan=self.fault_plan,
-                max_parallel=self.max_parallel)
+                max_parallel=self.max_parallel,
+                runtime=WorkerRuntime.capture(len(client_names),
+                                              telemetry=self.telemetry))
             runner.launch(client_names)
         else:
             gate = threading.Semaphore(self.max_parallel)
@@ -212,6 +221,7 @@ class SimulatorRunner:
             health=monitor,
         )
         wire_before = wire_codec_module.wire_totals()
+        worker_snapshots: dict[str, dict] = {}
 
         try:
             if self.threads:
@@ -223,6 +233,10 @@ class SimulatorRunner:
                 # Stop fan-out may be partially undeliverable on a faulty
                 # fabric; join() terminates any straggler processes anyway.
                 server.stop_clients(client_names)
+                if self.telemetry:
+                    # each worker ships its metrics/profile on the way out;
+                    # collect before join() so nothing is lost to teardown
+                    worker_snapshots = runner.drain_telemetry()
                 runner.join()
                 bus.close()
             elif self.threads:
@@ -260,6 +274,17 @@ class SimulatorRunner:
             if session.registry is not None:
                 session.registry.merge(bus.metrics)
                 session.registry.merge(wire_codec_module.wire_metrics)
+            # Per-worker snapshots (process-per-client runs): fold each
+            # child's registries and op profile in, so metrics.json /
+            # profile.json cover the training work done in every process.
+            for name, snapshot in sorted(worker_snapshots.items()):
+                if session.registry is not None:
+                    for key in ("metrics", "transport", "wire"):
+                        if isinstance(snapshot.get(key), dict):
+                            session.registry.merge_dict(snapshot[key])
+                if session.profiler is not None \
+                        and isinstance(snapshot.get("profile"), dict):
+                    session.profiler.merge_dict(snapshot["profile"])
             stats.telemetry = session.artifact_paths()
         elif monitor is not None and monitor.health_path is not None:
             stats.telemetry = {"health": str(monitor.health_path)}

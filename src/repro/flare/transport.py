@@ -38,7 +38,7 @@ from typing import Any
 
 from ..obs.metrics import MetricsRegistry
 from .constants import ReservedKey
-from .security import hmac_sign, hmac_verify
+from .security import hmac_sign_parts, hmac_verify_parts
 from .shareable import Shareable
 
 __all__ = ["Message", "Transport", "BaseTransport", "MessageBus",
@@ -84,7 +84,12 @@ class SignatureError(TransportError):
 
 @dataclass
 class Message:
-    """One envelope on the wire."""
+    """One envelope on the wire.
+
+    ``body`` is usually ``bytes`` but any buffer works: the shared-memory
+    fabric delivers a ``memoryview`` over an mmap so the payload is hashed
+    and decoded in place, never copied into the receiving process.
+    """
 
     sender: str
     recipient: str
@@ -93,11 +98,15 @@ class Message:
     signature: str = ""
     headers: dict[str, Any] = field(default_factory=dict)
 
-    def signed_payload(self) -> bytes:
+    def signed_parts(self) -> tuple[bytes, bytes, bytes]:
+        """The buffers covered by the HMAC tag, in signing order."""
         header_bytes = json.dumps(
             {"sender": self.sender, "recipient": self.recipient, "topic": self.topic,
              "headers": self.headers}, sort_keys=True).encode("utf-8")
-        return header_bytes + b"\x00" + self.body
+        return header_bytes, b"\x00", self.body
+
+    def signed_payload(self) -> bytes:
+        return b"".join(self.signed_parts())
 
 
 @dataclass(frozen=True)
@@ -163,11 +172,16 @@ def _encode_shareable(shareable: Shareable) -> bytes:
 
 
 def _decode_shareable(blob: bytes) -> Shareable:
+    """bytes/memoryview → Shareable.
+
+    Slicing a memoryview yields another view, so when ``blob`` lives in
+    shared memory the DXO block is handed to the codec without a copy.
+    """
     header_len = int.from_bytes(blob[:4], "little")
-    headers = json.loads(blob[4:4 + header_len].decode("utf-8"))
+    headers = json.loads(bytes(blob[4:4 + header_len]).decode("utf-8"))
     shareable = Shareable(headers)
     body = blob[4 + header_len:]
-    if body:
+    if len(body):
         shareable["DXO"] = body
     return shareable
 
@@ -331,7 +345,7 @@ class BaseTransport(Transport):
                                    ReservedKey.MSG_ID: msg_id,
                                    ReservedKey.ATTEMPT: attempt,
                                    ReservedKey.SEND_TS: time.monotonic()})
-        message.signature = hmac_sign(message.signed_payload(), key)
+        message.signature = hmac_sign_parts(message.signed_parts(), key)
         if attempt > 0:
             self._retries.inc()
         self._dispatch(message)
@@ -369,7 +383,8 @@ class BaseTransport(Transport):
             if message is None:
                 raise ReceiveTimeout(name, timeout, topic=topic, peer=peer)
             key = self.session_key(message.sender)
-            if key is None or not hmac_verify(message.signed_payload(), message.signature, key):
+            if key is None or not hmac_verify_parts(message.signed_parts(),
+                                                    message.signature, key):
                 raise SignatureError(
                     f"signature check failed for message {message.topic!r} "
                     f"from {message.sender!r}")

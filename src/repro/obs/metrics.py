@@ -335,6 +335,41 @@ class MetricsRegistry:
                 else:
                     dst._samples = None
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        The cross-process counterpart of :meth:`merge`: a forked client
+        worker cannot hand its parent a live registry, so it ships the JSON
+        snapshot over the bus (the ``__telemetry__`` message) and the parent
+        reconstructs.  Counters add, gauges take the snapshot's value,
+        histograms add bucket by bucket — count/sum/min/max survive exactly;
+        only the small-sample reservoir is lost, so merged percentiles fall
+        back to bucket interpolation.
+        """
+        if not self.enabled:
+            return
+        for entry in snapshot.get("counters", []):
+            self.counter(entry["name"], **entry.get("tags", {})).inc(entry["value"])
+        for entry in snapshot.get("gauges", []):
+            self.gauge(entry["name"], **entry.get("tags", {})).set(entry["value"])
+        for entry in snapshot.get("histograms", []):
+            if not entry.get("count"):
+                continue
+            buckets = tuple(entry["buckets"])
+            dst = self.histogram(entry["name"], buckets=buckets,
+                                 **entry.get("tags", {}))
+            if dst.buckets != buckets:
+                raise ValueError(f"cannot merge histogram {entry['name']!r}: "
+                                 "bucket layouts differ")
+            with dst._lock:
+                for i, c in enumerate(entry["bucket_counts"]):
+                    dst._counts[i] += int(c)
+                dst._count += int(entry["count"])
+                dst._sum += float(entry["sum"])
+                dst._min = min(dst._min, float(entry["min"]))
+                dst._max = max(dst._max, float(entry["max"]))
+                dst._samples = None  # snapshots carry no reservoir
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------

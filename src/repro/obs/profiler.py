@@ -197,6 +197,28 @@ class OpProfiler:
                for name, record in self._merged().items()}
         return {"schema": "repro.obs.profile/v1", "ops": ops}
 
+    def merge_dict(self, snapshot: dict) -> None:
+        """Fold a :meth:`to_dict` snapshot into this profiler's totals.
+
+        Lets the parent process absorb a forked client worker's profile
+        (shipped over the bus at shutdown) so ``profile.json`` covers the
+        work done in every process, not just the server's.
+        """
+        incoming = snapshot.get("ops", {})
+        if not incoming:
+            return
+        ops = self._ops_for_thread()
+        for name, fields in incoming.items():
+            record = ops.get(name)
+            if record is None:
+                record = ops[name] = _OpRecord()
+            record.nodes += int(fields.get("nodes", 0))
+            record.bytes += int(fields.get("bytes", 0))
+            record.fwd_calls += int(fields.get("fwd_calls", 0))
+            record.fwd_seconds += float(fields.get("fwd_seconds", 0.0))
+            record.bwd_calls += int(fields.get("bwd_calls", 0))
+            record.bwd_seconds += float(fields.get("bwd_seconds", 0.0))
+
     def save_json(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -12,6 +12,13 @@ Every fused op in :mod:`repro.autograd.functional` is checked three ways:
 3. **End-to-end**: a fixed-seed training run with the fused stack matches
    one with the whole functional layer swapped onto the reference
    implementations, loss-for-loss.
+
+The whole module is parametrized over every registered array backend
+(``available_backends()``), so each fused op is validated against the same
+unfused reference under ``numpy``, ``blas`` and ``fastmath`` dispatch.  The
+parity tolerance widens to whatever the active backend declares in
+``describe()`` — 0.0 (bit-identical) for numpy/blas, 1e-6 for fastmath's
+tanh-based sigmoid.
 """
 
 from __future__ import annotations
@@ -22,14 +29,24 @@ import pytest
 from repro.autograd import (
     SGD,
     Tensor,
+    available_backends,
     check_gradients,
     functional as F,
     get_default_dtype,
     reference as R,
     set_default_dtype,
+    use_backend,
 )
+from repro.autograd.backend import active_backend
 
 ATOL = 1e-10
+
+
+@pytest.fixture(params=available_backends(), autouse=True)
+def backend(request):
+    """Run every test in this module under each registered backend."""
+    with use_backend(request.param):
+        yield request.param
 
 
 @pytest.fixture()
@@ -45,8 +62,16 @@ def clones(params):
     return [Tensor(p.data.copy(), requires_grad=True) for p in params]
 
 
-def assert_parity(rng, fused_out, ref_out, fused_params, ref_params, atol=ATOL):
-    """Same forward values and, after a shared upstream grad, same gradients."""
+def assert_parity(rng, fused_out, ref_out, fused_params, ref_params, atol=None):
+    """Same forward values and, after a shared upstream grad, same gradients.
+
+    The tolerance floor is whatever the active backend declares: numpy and
+    blas promise bit-identical kernels (so the tight default holds), while
+    fastmath is bounded at 1e-6.
+    """
+    if atol is None:
+        atol = ATOL
+    atol = max(atol, float(active_backend().describe().get("tolerance", 0.0)))
     np.testing.assert_allclose(fused_out.data, ref_out.data, atol=atol)
     upstream = rng.normal(size=fused_out.shape)
     fused_out.backward(upstream.copy())

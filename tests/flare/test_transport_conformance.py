@@ -4,9 +4,10 @@ Each test runs against a *fabric* — a deployment of Transport nodes hosting
 a "server" and a "site-1" endpoint with session keys installed on both
 sides.  The memory fabric is a single :class:`MessageBus` node; the socket
 fabric is a hub node plus a spoke node joined over TCP loopback, so every
-assertion here exercises real frames on the wire.  Whatever behaviour this
-suite pins is the contract the simulator (and everything above the
-Transport seam) may rely on, regardless of transport selection.
+assertion here exercises real frames on the wire; the shm fabric is one
+:class:`ShmMessageBus` whose bodies cross mmap'd segments.  Whatever
+behaviour this suite pins is the contract the simulator (and everything
+above the Transport seam) may rely on, regardless of transport selection.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.flare import (
     ReceiveTimeout,
     RetryPolicy,
     Shareable,
+    ShmMessageBus,
     SignatureError,
     SocketMessageBus,
     TransportError,
@@ -62,6 +64,14 @@ def make_fabric(kind: str, fault_plan: FaultPlan | None = None) -> Fabric:
         bus.register_endpoint(CLIENT)
         _install_keys(bus)
         return Fabric(kind, bus, bus, [bus])
+    if kind == "shm":
+        # inline_limit=0 forces every body through an mmap'd segment, so
+        # the whole contract is exercised on the zero-copy path
+        bus = ShmMessageBus(fault_plan=fault_plan, inline_limit=0)
+        bus.register_endpoint(SERVER)
+        bus.register_endpoint(CLIENT)
+        _install_keys(bus)
+        return Fabric(kind, bus, bus, [bus])
     hub = SocketMessageBus(fault_plan=fault_plan)
     hub.register_endpoint(SERVER)
     hub.register_peer(CLIENT)
@@ -75,7 +85,7 @@ def make_fabric(kind: str, fault_plan: FaultPlan | None = None) -> Fabric:
     return Fabric(kind, hub, spoke, [spoke, hub])
 
 
-@pytest.fixture(params=["memory", "socket"])
+@pytest.fixture(params=["memory", "socket", "shm"])
 def fabric(request):
     deployed = make_fabric(request.param)
     yield deployed
@@ -169,7 +179,7 @@ class TestConformance:
 class TestConformanceUnderFaults:
     """send_with_retry semantics on a lossy fabric, both transports."""
 
-    @pytest.fixture(params=["memory", "socket"])
+    @pytest.fixture(params=["memory", "socket", "shm"])
     def lossy(self, request):
         plan = FaultPlan(seed=11, drop_prob=1.0)
         deployed = make_fabric(request.param, fault_plan=plan)
