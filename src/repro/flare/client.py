@@ -83,9 +83,17 @@ class FederatedClient(FLComponent):
     # task processing
     # ------------------------------------------------------------------
     def process_task(self, task_name: str, shareable: Shareable) -> Shareable:
-        """Execute one task against the learner, applying filter chains."""
+        """Execute one task against the learner, applying filter chains.
+
+        The transport attaches the server's trace context to the received
+        shareable; opening the task span with it as ``remote_parent``
+        stitches ``round -> client_task`` into one tree even when this
+        client is a forked OS process with its own tracer.
+        """
         round_number = shareable.get_header(ReservedKey.ROUND_NUMBER, 0)
-        with obs_trace.span("client_task", client=self.name, task=task_name,
+        trace_ctx = shareable.pop(ReservedKey.TRACE_CTX, None)
+        with obs_trace.span("client_task", remote_parent=trace_ctx,
+                            client=self.name, task=task_name,
                             round=round_number) as task_span:
             reply = self._process_task_inner(task_name, shareable)
             task_span.set_attr("return_code", reply.return_code)
@@ -100,7 +108,9 @@ class FederatedClient(FLComponent):
             # decode) also signal unusable task data via ValueError — e.g. a
             # delta against a model version this client does not hold.
             for task_filter in self.task_data_filters:
-                dxo = task_filter.process(dxo, self.fl_ctx)
+                with obs_trace.span("filter", stage="task_data",
+                                    filter=type(task_filter).__name__):
+                    dxo = task_filter.process(dxo, self.fl_ctx)
         except ValueError as error:
             self.log_warning("task data for %r unusable: %s", task_name, error)
             return make_reply(ReturnCode.BAD_TASK_DATA)
@@ -134,7 +144,9 @@ class FederatedClient(FLComponent):
             self.log_error("task %s failed: %s", task_name, error)
             return make_reply(ReturnCode.EXECUTION_EXCEPTION)
         for result_filter in self.task_result_filters:
-            result = result_filter.process(result, self.fl_ctx)
+            with obs_trace.span("filter", stage="task_result",
+                                filter=type(result_filter).__name__):
+                result = result_filter.process(result, self.fl_ctx)
         result.set_meta_prop(MetaKey.CLIENT_NAME, self.name)
         reply = from_dxo(result)
         reply.set_return_code(ReturnCode.OK)

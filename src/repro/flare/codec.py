@@ -52,6 +52,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 
 __all__ = [
@@ -94,6 +95,12 @@ def _account(direction: str, codec: str, raw: int, encoded: int, seconds: float)
         registry.counter("transport.bytes_raw", codec=codec).inc(raw)
         registry.counter("transport.bytes_encoded", codec=codec).inc(encoded)
         registry.histogram(f"codec.{direction}_seconds", codec=codec).observe(seconds)
+    tracer = obs_trace.get_tracer()
+    if tracer is not None:
+        # retro-record the already-timed region so the codec pass shows up
+        # under whichever span (client_task, aggregate, ...) it ran inside
+        tracer.record_complete(f"codec.{direction}", seconds, codec=codec,
+                               raw_bytes=raw, encoded_bytes=encoded)
 
 
 def _pad(offset: int, alignment: int = ALIGNMENT) -> int:

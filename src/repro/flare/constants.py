@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["DataKind", "ReturnCode", "EventType", "ReservedKey", "TaskName", "FLRole"]
+__all__ = ["DataKind", "ReturnCode", "EventType", "ReservedKey", "TaskName",
+           "FLRole", "TELEMETRY_TOPIC"]
+
+# Topic of the child -> server telemetry messages: workers stream periodic
+# metric/trace deltas during the run and one final snapshot on the way out.
+# Lives here (not in runner.py) so the server's receive loop can route it
+# without importing the process-runner machinery.
+TELEMETRY_TOPIC = "__telemetry__"
 
 
 class DataKind:
@@ -48,6 +55,7 @@ class ReservedKey:
     MSG_ID = "__msg_id__"
     ATTEMPT = "__attempt__"
     SEND_TS = "__send_ts__"
+    TRACE_CTX = "__trace_ctx__"
     ROUND_NUMBER = "__round_number__"
     TOTAL_ROUNDS = "__total_rounds__"
     RETURN_CODE = "__return_code__"

@@ -227,7 +227,10 @@ class ScatterAndGather(FLComponent):
             dxo = to_dxo(reply)
             del reply
             for result_filter in self.result_filters:
-                dxo = result_filter.process(dxo, fl_ctx)
+                with obs_trace.span("filter", stage="server_result",
+                                    filter=type(result_filter).__name__,
+                                    client=sender):
+                    dxo = result_filter.process(dxo, fl_ctx)
             self.log_info("Contribution from %s received.", sender)
             if self.health is not None:
                 self.health.record_update(
@@ -382,7 +385,9 @@ class ScatterAndGather(FLComponent):
         encoded: dict[str, Shareable] = {}
         for kind, dxo in payloads.items():
             for task_filter in self.compression.downlink_task_filters():
-                dxo = task_filter.process(dxo, fl_ctx)
+                with obs_trace.span("filter", stage="downlink",
+                                    filter=type(task_filter).__name__):
+                    dxo = task_filter.process(dxo, fl_ctx)
             shareable = from_dxo(dxo)
             shareable.set_header(ReservedKey.ROUND_NUMBER, round_number)
             shareable.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)

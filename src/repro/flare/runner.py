@@ -33,6 +33,7 @@ picklable learner factories); jobs whose factories pickle cleanly may pass
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -40,7 +41,7 @@ from typing import TYPE_CHECKING, Callable
 import numpy as np
 
 from .client import FederatedClient, session_key_from_token
-from .constants import ReservedKey
+from .constants import TELEMETRY_TOPIC, ReservedKey
 from .filters import CompressionConfig
 from .provision import StartupKit
 from .security import sign
@@ -55,12 +56,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .server import FLServer
 
 __all__ = ["ProcessClientRunner", "ClientProcessConfig", "WorkerRuntime",
-           "client_process_main", "TELEMETRY_TOPIC"]
-
-# Topic of the child → server snapshot each worker sends after the stop
-# fan-out, carrying its metrics/profile so the parent's report covers the
-# work done in every process.
-TELEMETRY_TOPIC = "__telemetry__"
+           "TelemetryCollector", "client_process_main", "TELEMETRY_TOPIC"]
 
 
 @dataclass
@@ -122,26 +118,110 @@ class ClientProcessConfig:
     extra_result_filters: list = field(default_factory=list)
     heartbeat_interval: float | None = 2.0
     poll_timeout: float = 1.0
+    # Distributed tracing: the run-level trace id minted by the parent's
+    # TelemetrySession, adopted by the worker's tracer so every process
+    # contributes spans to one merged trace.
+    trace_id: str | None = None
+    # Cadence of the worker's streamed telemetry deltas; each finished task
+    # span also kicks an immediate flush, so mid-run progress reaches the
+    # parent promptly and a crash loses at most one interval of spans.
+    telemetry_flush: float = 0.5
 
 
-def _export_telemetry(bus: Transport, name: str, server_name: str,
-                      registry, profiler) -> None:
-    """Ship this worker's snapshots to the server as one last message."""
-    from .. import obs
-    from . import codec as wire_codec_module
+class _WorkerTelemetryExporter:
+    """Streams one worker's telemetry to the server while it serves.
 
-    snapshot = {
-        "client": name,
-        "metrics": registry.to_dict(),
-        "profile": profiler.to_dict(),
-        "transport": bus.metrics.to_dict(),
-        "wire": wire_codec_module.wire_metrics.to_dict(),
-    }
-    try:
-        bus.send_shareable(name, server_name, TELEMETRY_TOPIC,
-                           Shareable({"telemetry": snapshot}))
-    except TransportError:
-        pass  # best-effort: a faulty fabric may eat the goodbye
+    Every ``interval`` seconds (or promptly after a span closes — the
+    tracer's flush hook kicks the loop) the exporter ships one delta:
+    spans finished since the previous delta plus *cumulative* snapshots of
+    the metric registries (the parent keeps only the latest cumulative
+    snapshot per worker, so a lost delta costs spans, never double-counts
+    a counter).  The final delta (``final=True``) is sent on the way out;
+    a crashed worker simply stops mid-stream and the parent marks its
+    still-open spans aborted.
+    """
+
+    def __init__(self, bus: Transport, name: str, server_name: str,
+                 registry, profiler, tracer, interval: float) -> None:
+        self.bus = bus
+        self.name = name
+        self.server_name = server_name
+        self.registry = registry
+        self.profiler = profiler
+        self.tracer = tracer
+        self.interval = max(interval, 0.05)
+        self._seq = 0
+        self._kick = threading.Event()
+        self._stop = threading.Event()
+        self._send_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "_WorkerTelemetryExporter":
+        if self.tracer is not None:
+            # Only spans wide enough to matter (a task, a training call)
+            # kick an immediate flush; sub-50ms spans ride the interval.
+            self.tracer.set_flush_hook(self.kick, threshold=0.05)
+        self._thread = threading.Thread(target=self._loop,
+                                        name=f"telemetry-{self.name}",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def kick(self) -> None:
+        self._kick.set()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._kick.wait(self.interval)
+            self._kick.clear()
+            if self._stop.is_set():
+                break
+            self.flush(final=False)
+            # coalesce kick bursts (one flush covers every span that
+            # closed during it, so back-to-back flushes add nothing)
+            self._stop.wait(0.05)
+
+    def snapshot(self, final: bool) -> dict:
+        from . import codec as wire_codec_module
+
+        delta = {
+            "client": self.name,
+            "seq": self._seq,
+            "final": final,
+            "metrics": self.registry.to_dict(),
+            "profile": self.profiler.to_dict(),
+            "transport": self.bus.metrics.to_dict(),
+            "wire": wire_codec_module.wire_metrics.to_dict(),
+        }
+        if self.tracer is not None:
+            delta["process"] = self.tracer.process
+            delta["trace_id"] = self.tracer.trace_id
+            delta["clock_offset"] = round(self.tracer.clock_offset, 6)
+            delta["spans"] = self.tracer.drain()
+            delta["open_spans"] = [] if final else self.tracer.open_spans()
+        return delta
+
+    def flush(self, final: bool = False) -> None:
+        with self._send_lock:
+            delta = self.snapshot(final)
+            self._seq += 1
+            try:
+                self.bus.send_shareable(self.name, self.server_name,
+                                        TELEMETRY_TOPIC,
+                                        Shareable({"telemetry": delta}))
+            except TransportError:
+                pass  # best-effort: a faulty fabric may eat a delta
+
+    def stop(self) -> None:
+        """Stop the loop and ship the final cumulative snapshot."""
+        self._stop.set()
+        self._kick.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self.tracer is not None:
+            self.tracer.set_flush_hook(None)
+        self.flush(final=True)
 
 
 def client_process_main(config: ClientProcessConfig,
@@ -158,10 +238,14 @@ def client_process_main(config: ClientProcessConfig,
     if config.runtime is not None:
         config.runtime.apply()
     registry = profiler = previous_registry = None
+    tracer = previous_tracer = None
+    exporter: _WorkerTelemetryExporter | None = None
     if config.runtime is not None and config.runtime.telemetry:
         from ..obs import metrics as obs_metrics
+        from ..obs import trace as obs_trace
         from ..obs.metrics import MetricsRegistry
         from ..obs.profiler import OpProfiler, get_profiler
+        from ..obs.trace import Tracer
 
         # fork copies the parent's installed profiler hook; detach that
         # inherited copy (it records into the parent session's dicts, which
@@ -172,6 +256,12 @@ def client_process_main(config: ClientProcessConfig,
         registry = MetricsRegistry()
         previous_registry = obs_metrics.set_registry(registry)
         profiler = OpProfiler().install()
+        # Per-process tracer joined to the parent's trace: same trace_id,
+        # site-named span ids, and a clock offset learned from the first
+        # task's envelope so exported spans land on the parent's timeline.
+        tracer = Tracer(trace_id=config.trace_id, process=name,
+                        adopt_clock=True)
+        previous_tracer = obs_trace.set_tracer(tracer)
     if config.bus is not None:
         # fork-inherited fabric (shm): the queues already exist; this
         # process just claims its endpoint and installs its keys below
@@ -199,6 +289,11 @@ def client_process_main(config: ClientProcessConfig,
         client.fl_ctx.set_prop(ReservedKey.TOKEN, config.token)
         client.learner.initialize(client.fl_ctx)
         client.task_semaphore = gate
+        if registry is not None and profiler is not None:
+            # keys are installed; start streaming deltas to the server
+            exporter = _WorkerTelemetryExporter(
+                bus, name, config.server_name, registry, profiler, tracer,
+                interval=config.telemetry_flush).start()
         try:
             while True:
                 try:
@@ -213,15 +308,111 @@ def client_process_main(config: ClientProcessConfig,
                     time.sleep(config.poll_timeout)
         finally:
             client.learner.finalize(client.fl_ctx)
-        if registry is not None and profiler is not None:
+        if exporter is not None:
             from ..obs import metrics as obs_metrics
+            from ..obs import trace as obs_trace
 
             profiler.uninstall()
             obs_metrics.set_registry(previous_registry)
-            _export_telemetry(bus, name, config.server_name, registry, profiler)
+            obs_trace.set_tracer(previous_tracer)
+            exporter.stop()  # ships the final cumulative snapshot
     finally:
         if owns_bus:
             bus.close()
+
+
+class TelemetryCollector:
+    """Parent-side sink for the workers' streamed telemetry deltas.
+
+    Ingests every ``__telemetry__`` delta — whether it arrives mid-round
+    through :attr:`FLServer.telemetry_sink` or during the final drain —
+    and maintains:
+
+    - the **latest cumulative** metric/profile/transport/wire snapshot per
+      worker (idempotent under lost or reordered deltas, since each delta
+      carries full totals);
+    - the merged span stream: span deltas are appended to the parent
+      session's live ``trace.jsonl`` as they arrive;
+    - crash forensics: the open spans reported by each worker's most
+      recent delta.  :meth:`finalize` writes those of any worker that
+      never sent its ``final=True`` goodbye as ``status="aborted"``
+      records, so a crashed client's task is visible in the merged trace
+      instead of silently missing.
+    """
+
+    def __init__(self, session=None) -> None:
+        self.session = session
+        self._lock = threading.Lock()
+        self._latest: dict[str, dict] = {}
+        self._open: dict[str, list[dict]] = {}
+        self._seen_seq: dict[str, int] = {}
+        self._finals: set[str] = set()
+        self._announced: set[str] = set()
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def ingest(self, delta: dict) -> None:
+        """Fold one worker delta in (safe from any thread)."""
+        client = delta.get("client")
+        if not isinstance(client, str):
+            return
+        seq = delta.get("seq", 0)
+        announce = False
+        with self._lock:
+            if isinstance(seq, int) and seq <= self._seen_seq.get(client, -1):
+                return  # stale or duplicated delta
+            self._seen_seq[client] = seq if isinstance(seq, int) else 0
+            self._latest[client] = {
+                key: delta[key]
+                for key in ("client", "metrics", "profile", "transport", "wire")
+                if key in delta}
+            self._open[client] = list(delta.get("open_spans") or [])
+            if delta.get("final"):
+                self._finals.add(client)
+                self._open[client] = []
+            if client not in self._announced:
+                self._announced.add(client)
+                announce = True
+        if self.session is None:
+            return
+        if announce:
+            self.session.append_process({
+                "event": "process", "process": delta.get("process", client),
+                "client": client, "trace_id": delta.get("trace_id"),
+                "clock_offset": delta.get("clock_offset", 0.0)})
+        spans = delta.get("spans")
+        if spans:
+            self.session.append_spans(spans)
+
+    # ------------------------------------------------------------------
+    def final_clients(self) -> set[str]:
+        with self._lock:
+            return set(self._finals)
+
+    def snapshots(self) -> dict[str, dict]:
+        """Latest cumulative snapshot per worker (the drain return shape)."""
+        with self._lock:
+            return {client: dict(snapshot)
+                    for client, snapshot in self._latest.items()}
+
+    def finalize(self) -> list[dict]:
+        """Mark never-closed spans of non-final workers as aborted.
+
+        Returns the aborted-span records (also appended to the session's
+        trace stream when one is attached).  Idempotent.
+        """
+        with self._lock:
+            if self._finalized:
+                return []
+            self._finalized = True
+            aborted = [
+                dict(open_span, t_end=None, wall_s=None, status="aborted")
+                for client, open_spans in sorted(self._open.items())
+                if client not in self._finals
+                for open_span in open_spans]
+        if aborted and self.session is not None:
+            self.session.append_spans(aborted)
+        return aborted
 
 
 class ProcessClientRunner:
@@ -252,7 +443,10 @@ class ProcessClientRunner:
                  poll_timeout: float = 1.0,
                  start_method: str = "fork",
                  connect_timeout: float = 30.0,
-                 runtime: WorkerRuntime | None = None) -> None:
+                 runtime: WorkerRuntime | None = None,
+                 trace_id: str | None = None,
+                 telemetry_flush: float = 0.5,
+                 collector: TelemetryCollector | None = None) -> None:
         hub = server.bus
         if not isinstance(hub, (SocketMessageBus, ShmMessageBus)):
             raise TypeError("ProcessClientRunner needs the server on a "
@@ -277,6 +471,11 @@ class ProcessClientRunner:
         self.poll_timeout = poll_timeout
         self.connect_timeout = connect_timeout
         self.runtime = runtime
+        self.trace_id = trace_id
+        self.telemetry_flush = telemetry_flush
+        # Shared with the server's telemetry_sink so mid-round deltas and
+        # the final drain land in one place; created lazily when absent.
+        self.collector = collector
         self._ctx = multiprocessing.get_context(start_method)
         self._processes: dict[str, multiprocessing.process.BaseProcess] = {}
         self.tokens: dict[str, str] = {}
@@ -322,7 +521,9 @@ class ProcessClientRunner:
                 fault_plan=self.fault_plan, compression=self.compression,
                 extra_result_filters=self.extra_result_filters,
                 heartbeat_interval=self.heartbeat_interval,
-                poll_timeout=self.poll_timeout)
+                poll_timeout=self.poll_timeout,
+                trace_id=self.trace_id,
+                telemetry_flush=self.telemetry_flush)
             process = self._ctx.Process(
                 target=client_process_main,
                 args=(config, self.learner_factory, gate),
@@ -334,25 +535,40 @@ class ProcessClientRunner:
 
     # ------------------------------------------------------------------
     def drain_telemetry(self, timeout: float = 10.0) -> dict[str, dict]:
-        """Collect each worker's ``__telemetry__`` snapshot after the stop.
+        """Drain remaining ``__telemetry__`` deltas after the stop fan-out.
 
-        Call between ``server.stop_clients(...)`` and :meth:`join`: every
-        worker with telemetry armed sends one snapshot on its way out.
-        Returns ``{client_name: snapshot}`` for whoever reported before the
-        deadline — a crashed worker simply has no entry.
+        The workers stream deltas throughout the run (routed into the
+        collector by ``FLServer.telemetry_sink``); this drains whatever is
+        still in flight — most importantly each worker's ``final=True``
+        goodbye — until every live worker has reported or the deadline
+        expires, then marks the open spans of anyone who never said
+        goodbye (a crashed process) as aborted in the merged trace.
+
+        Returns ``{client_name: latest cumulative snapshot}`` — a crashed
+        worker keeps the snapshot from its last streamed delta, so
+        everything it flushed before dying survives.
         """
-        snapshots: dict[str, dict] = {}
-        expected = {name for name, process in self._processes.items()}
+        if self.collector is None:
+            self.collector = TelemetryCollector()
+        collector = self.collector
+        expected = set(self._processes)
         deadline = time.monotonic() + timeout
-        while expected - set(snapshots):
+        while expected - collector.final_clients():
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 break
+            # Workers that already died can never send a final delta; stop
+            # waiting once every still-live worker has reported.
+            if not (set(self.alive()) & (expected - collector.final_clients())) \
+                    and self.hub.pending(self.server.name) == 0:
+                break
             try:
                 sender, topic, shareable = self.hub.receive(
-                    self.server.name, timeout=remaining,
+                    self.server.name, timeout=min(remaining, 0.25),
                     topic=TELEMETRY_TOPIC)
-            except (ReceiveTimeout, TransportError):
+            except ReceiveTimeout:
+                continue  # re-check liveness/deadline
+            except TransportError:
                 break
             except SignatureError:
                 continue  # chaos plans may corrupt the goodbye; skip it
@@ -360,8 +576,9 @@ class ProcessClientRunner:
                 continue  # stale round traffic; telemetry is all we want now
             snapshot = shareable.get("telemetry")
             if isinstance(snapshot, dict):
-                snapshots[sender] = snapshot
-        return snapshots
+                collector.ingest(snapshot)
+        collector.finalize()
+        return collector.snapshots()
 
     # ------------------------------------------------------------------
     def alive(self) -> list[str]:

@@ -6,7 +6,7 @@ import time
 
 import numpy as np
 
-from .constants import EventType, ReservedKey
+from .constants import TELEMETRY_TOPIC, EventType, ReservedKey
 from .events import FLComponent
 from .fl_context import FLContext
 from .provision import StartupKit, make_join_token
@@ -43,6 +43,12 @@ class FLServer(FLComponent):
         self.tokens: dict[str, str] = {}
         self.retry_policy = retry_policy or RetryPolicy()
         self.retries = 0
+        # Optional callable fed every streamed worker telemetry delta the
+        # moment the result loop dequeues one (process-per-client runs
+        # interleave them with round traffic on the server inbox).  Without
+        # a sink those messages are dropped from the result stream — they
+        # must never be mistaken for a round contribution.
+        self.telemetry_sink = None
         self._nonces: dict[str, bytes] = {}
         self._rng = np.random.default_rng(seed)
         bus.register_endpoint(self.name)
@@ -141,12 +147,17 @@ class FLServer(FLComponent):
             if remaining <= 0:
                 break
             try:
-                sender, _topic, shareable = self.bus.receive(self.name, timeout=remaining)
+                sender, topic, shareable = self.bus.receive(self.name, timeout=remaining)
             except SignatureError as error:
                 self.log_warning("rejected corrupted/forged result: %s", error)
                 continue
             except ReceiveTimeout:
                 break
+            if topic == TELEMETRY_TOPIC:
+                snapshot = shareable.get("telemetry")
+                if self.telemetry_sink is not None and isinstance(snapshot, dict):
+                    self.telemetry_sink(snapshot)
+                continue
             yielded += 1
             yield sender, shareable
         if yielded < expected:

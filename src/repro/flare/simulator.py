@@ -30,7 +30,7 @@ from .fl_context import FLContext
 from .job import FLJob
 from .persistor import ModelPersistor
 from .provision import Provisioner, default_project
-from .runner import ProcessClientRunner, WorkerRuntime
+from .runner import ProcessClientRunner, TelemetryCollector, WorkerRuntime
 from .server import FLServer
 from .shm_transport import ShmMessageBus
 from .socket_transport import SocketMessageBus
@@ -65,7 +65,8 @@ class SimulatorRunner:
                  health: bool | HealthMonitor = False,
                  compression: CompressionConfig | str | None = None,
                  wire_codec: str | None = None,
-                 transport: str | None = None) -> None:
+                 transport: str | None = None,
+                 telemetry_flush: float = 0.5) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
@@ -92,8 +93,11 @@ class SimulatorRunner:
         self.fault_plan = fault_plan
         # When on, the run is wrapped in a TelemetrySession writing
         # metrics.json / trace.jsonl / profile.json under run_dir (pointers
-        # land in stats.telemetry).
+        # land in stats.telemetry).  ``telemetry_flush`` is how often each
+        # worker process streams its trace/metrics delta to the parent —
+        # lower means fresher live tails and less loss on a crash.
         self.telemetry = telemetry
+        self.telemetry_flush = telemetry_flush
         # Live health monitoring: per-client drift diagnostics + anomaly
         # alerts per round, written to run_dir/health.jsonl and surfaced on
         # stats.alerts.  ``True`` uses the default detector set (quarantine
@@ -126,7 +130,12 @@ class SimulatorRunner:
             monitor = HealthMonitor(run_dir=self.run_dir)
         else:
             monitor = None
-        session = (TelemetrySession(self.run_dir, health=monitor or False).start()
+        # The parent tracer is labelled "server" and mints the run-level
+        # trace_id every worker process adopts; spans stream to
+        # run_dir/trace.jsonl live (tail the run with
+        # ``python -m repro.obs tail <run_dir>``).
+        session = (TelemetrySession(self.run_dir, health=monitor or False,
+                                    process="server").start()
                    if self.telemetry else None)
         previous_codec = (set_wire_codec(self.wire_codec)
                           if self.wire_codec is not None else None)
@@ -169,6 +178,16 @@ class SimulatorRunner:
         runner: ProcessClientRunner | None = None
         client_names = [spec.name for spec in project.clients]
         if self.transport in ("socket", "shm"):
+            collector: TelemetryCollector | None = None
+            trace_id = None
+            if self.telemetry:
+                # One collector joins the workers' streamed deltas to the
+                # parent session: mid-round deltas arrive through the
+                # server's result loop, the rest through the final drain.
+                collector = TelemetryCollector(session)
+                server.telemetry_sink = collector.ingest
+                if session is not None and session.tracer is not None:
+                    trace_id = session.tracer.trace_id
             runner = ProcessClientRunner(
                 self.job.learner_factory, kits, server,
                 compression=self.compression,
@@ -176,7 +195,10 @@ class SimulatorRunner:
                 fault_plan=self.fault_plan,
                 max_parallel=self.max_parallel,
                 runtime=WorkerRuntime.capture(len(client_names),
-                                              telemetry=self.telemetry))
+                                              telemetry=self.telemetry),
+                trace_id=trace_id,
+                telemetry_flush=self.telemetry_flush,
+                collector=collector)
             runner.launch(client_names)
         else:
             gate = threading.Semaphore(self.max_parallel)

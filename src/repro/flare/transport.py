@@ -36,6 +36,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs import trace as obs_trace
 from ..obs.metrics import MetricsRegistry
 from .constants import ReservedKey
 from .security import hmac_sign_parts, hmac_verify_parts
@@ -340,11 +341,20 @@ class BaseTransport(Transport):
         if msg_id is None:
             msg_id = self.next_msg_id(sender)
         body = _encode_shareable(shareable)
+        # One monotonic sample serves both the latency stamp and the trace
+        # context's timeline stamp: the receiver derives the sender's clock
+        # offset from their difference, so sharing the sample makes the
+        # derivation exact instead of off by the sampling gap.
+        send_ts = time.monotonic()
+        headers = {ReservedKey.CLIENT_NAME: sender,
+                   ReservedKey.MSG_ID: msg_id,
+                   ReservedKey.ATTEMPT: attempt,
+                   ReservedKey.SEND_TS: send_ts}
+        tracer = obs_trace.get_tracer()
+        if tracer is not None:
+            headers[ReservedKey.TRACE_CTX] = tracer.current_context(send_ts)
         message = Message(sender=sender, recipient=recipient, topic=topic, body=body,
-                          headers={ReservedKey.CLIENT_NAME: sender,
-                                   ReservedKey.MSG_ID: msg_id,
-                                   ReservedKey.ATTEMPT: attempt,
-                                   ReservedKey.SEND_TS: time.monotonic()})
+                          headers=headers)
         message.signature = hmac_sign_parts(message.signed_parts(), key)
         if attempt > 0:
             self._retries.inc()
@@ -397,7 +407,17 @@ class BaseTransport(Transport):
                 self.metrics.histogram("transport.latency_seconds",
                                        topic=message.topic).observe(
                     max(time.monotonic() - send_ts, 0.0))
-            return message.sender, message.topic, _decode_shareable(message.body)
+            shareable = _decode_shareable(message.body)
+            ctx = message.headers.get(ReservedKey.TRACE_CTX)
+            if isinstance(ctx, dict):
+                tracer = obs_trace.get_tracer()
+                if tracer is not None and isinstance(send_ts, (int, float)):
+                    tracer.observe_remote(ctx, send_ts)
+                # Hand the context to the task executor (local attachment
+                # only: received shareables are never re-sent, and replies
+                # are built fresh, so the key never leaks back on the wire).
+                shareable[ReservedKey.TRACE_CTX] = ctx
+            return message.sender, message.topic, shareable
 
     def _next_message(self, name: str, remaining: float | None) -> Message | None:
         """Pop the next envelope for local endpoint ``name``; None on timeout."""

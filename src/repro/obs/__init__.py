@@ -20,11 +20,16 @@ The instrument panel every other subsystem reports into:
   behind ``python -m repro.obs runs list|show|diff``.
 - :mod:`repro.obs.report` — the run-report renderer behind
   ``python -m repro.obs report <run_dir>``.
+- :mod:`repro.obs.chrome` — Chrome/Perfetto trace-event export
+  (``python -m repro.obs trace export <run_dir>``).
+- :mod:`repro.obs.tail` — live trace follower for streaming runs
+  (``python -m repro.obs tail <run_dir>``).
 
 See ``docs/OBSERVABILITY.md`` for the full API and artifact schemas.
 """
 
 from . import metrics, trace
+from .chrome import export_chrome_trace, to_chrome_trace
 from .health import (
     Alert,
     Detector,
@@ -47,17 +52,31 @@ from .metrics import (
 )
 from .profiler import OpProfiler, get_profiler
 from .registry import RunRegistry, diff_runs, summarize_run
-from .report import render_report
-from .session import TelemetrySession
-from .trace import Span, Tracer, get_tracer, set_tracer, span
+from .report import load_trace, load_trace_events, render_report
+from .session import TelemetrySession, TraceStreamWriter
+from .tail import iter_trace_records, tail_run
+from .trace import (
+    Span,
+    Tracer,
+    current_context,
+    format_traceparent,
+    get_tracer,
+    parse_traceparent,
+    set_tracer,
+    span,
+)
 
 __all__ = [
     "metrics", "trace",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
     "get_registry", "set_registry",
     "Tracer", "Span", "span", "get_tracer", "set_tracer",
+    "current_context", "format_traceparent", "parse_traceparent",
     "OpProfiler", "get_profiler",
-    "TelemetrySession", "render_report",
+    "TelemetrySession", "TraceStreamWriter", "render_report",
+    "load_trace", "load_trace_events",
+    "to_chrome_trace", "export_chrome_trace",
+    "iter_trace_records", "tail_run",
     "HealthMonitor", "Alert", "Detector", "default_detectors",
     "NonFiniteUpdateDetector", "DivergingClientDetector", "StragglerDetector",
     "StalledConvergenceDetector", "WireBlowupDetector",

@@ -19,8 +19,8 @@ from pathlib import Path
 from .session import METRICS_FILE, PROFILE_FILE, TRACE_FILE
 
 __all__ = ["render_report", "render_metrics", "render_trace",
-           "render_profile", "render_health", "load_trace", "load_health",
-           "main"]
+           "render_profile", "render_health", "load_trace",
+           "load_trace_events", "load_health", "main"]
 
 HEALTH_FILE = "health.jsonl"
 
@@ -119,10 +119,15 @@ def _span_paths(spans: list[dict]) -> dict[str, dict]:
     aggregated: dict[str, dict] = {}
     for span in spans:
         entry = aggregated.setdefault(
-            path_of(span), {"count": 0, "wall": 0.0, "excl": 0.0})
+            path_of(span), {"count": 0, "wall": 0.0, "excl": 0.0,
+                            "aborted": 0})
         entry["count"] += 1
-        entry["wall"] += span.get("wall_s", 0.0)
-        entry["excl"] += span.get("excl_s", 0.0)
+        # aborted spans (a crashed worker never closed them) have no
+        # timings; they count but contribute no wall/excl time
+        entry["wall"] += span.get("wall_s") or 0.0
+        entry["excl"] += span.get("excl_s") or 0.0
+        if span.get("status") == "aborted" or span.get("t_end") is None:
+            entry["aborted"] += 1
     return aggregated
 
 
@@ -145,13 +150,20 @@ def render_trace(spans: list[dict]) -> str:
 
     visit("")
     rows = []
+    n_aborted = 0
     for path in ordered:
         entry = aggregated[path]
         depth = path.count(" > ")
         label = "  " * depth + path.rsplit(" > ", 1)[-1]
+        if entry["aborted"]:
+            label += f" [{entry['aborted']} aborted]"
+            n_aborted += entry["aborted"]
         rows.append([label, str(entry["count"]), _fmt_seconds(entry["wall"]),
                      _fmt_seconds(entry["excl"])])
-    lines += [f"{len(spans)} span(s), {len(aggregated)} distinct path(s)", ""]
+    summary = f"{len(spans)} span(s), {len(aggregated)} distinct path(s)"
+    if n_aborted:
+        summary += f", {n_aborted} aborted"
+    lines += [summary, ""]
     lines += _table(rows, ["path", "count", "wall", "excl"])
     return "\n".join(lines)
 
@@ -238,8 +250,18 @@ def render_health(records: list[dict]) -> str:
 # whole-run report
 # ---------------------------------------------------------------------------
 def load_trace(path: Path) -> list[dict]:
-    """Parse a trace.jsonl file, skipping the header and truncated lines."""
-    spans = []
+    """Parse a trace.jsonl file into span records.
+
+    Skips the header, ``process``/``end`` event markers and truncated
+    lines — only records carrying a ``span_id`` are spans.  Use
+    :func:`load_trace_events` when the markers matter.
+    """
+    return [r for r in load_trace_events(path) if "span_id" in r]
+
+
+def load_trace_events(path: Path) -> list[dict]:
+    """Every parseable record in a trace.jsonl: header, spans, markers."""
+    records = []
     for line in path.read_text().splitlines():
         if not line.strip():
             continue
@@ -247,10 +269,9 @@ def load_trace(path: Path) -> list[dict]:
             record = json.loads(line)
         except json.JSONDecodeError:
             continue  # truncated tail of an aborted run
-        if "schema" in record and "span_id" not in record:
-            continue
-        spans.append(record)
-    return spans
+        if isinstance(record, dict):
+            records.append(record)
+    return records
 
 
 def render_report(run_dir: str | Path) -> str:
@@ -305,19 +326,67 @@ def main(argv: list[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Render telemetry artifacts written by a TelemetrySession "
-                    "and compare runs via the run registry.")
+        description="Render telemetry artifacts written by a TelemetrySession, "
+                    "follow live runs, export traces and compare runs via the "
+                    "run registry.")
     sub = parser.add_subparsers(dest="command", required=True)
     report = sub.add_parser("report", help="render a run directory's telemetry")
     report.add_argument("run_dir", help="directory holding metrics.json / "
                                         "trace.jsonl / profile.json / "
                                         "health.jsonl")
+    report.add_argument("--format", choices=["text", "chrome-trace"],
+                        default="text",
+                        help="text report (default) or Chrome trace-event "
+                             "JSON on stdout")
+    tail_cmd = sub.add_parser(
+        "tail", help="follow a live run's trace.jsonl, printing round progress")
+    tail_cmd.add_argument("run_dir", help="run directory being written by a "
+                                          "streaming TelemetrySession")
+    tail_cmd.add_argument("--idle-timeout", type=float, default=30.0,
+                          help="exit after this many seconds without new "
+                               "trace data (default 30)")
+    trace_cmd = sub.add_parser("trace", help="trace-file operations")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="convert trace.jsonl to Chrome trace-event JSON")
+    export.add_argument("run_dir", help="run directory (or a trace.jsonl path)")
+    export.add_argument("-o", "--output", default=None,
+                        help="output path (default <trace>.chrome.json)")
     add_runs_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "runs":
         return run_runs_command(args)
+    if args.command == "tail":
+        from .tail import tail_run
+
+        trace_path = Path(args.run_dir) / TRACE_FILE
+        seen = tail_run(args.run_dir, idle_timeout=args.idle_timeout)
+        if seen == 0:
+            print(f"error: no trace records appeared in {trace_path}")
+            return 1
+        return 0
+    if args.command == "trace":
+        from .chrome import export_chrome_trace
+
+        target = Path(args.run_dir)
+        trace_path = target if target.is_file() else target / TRACE_FILE
+        if not trace_path.exists():
+            print(f"error: {trace_path} does not exist")
+            return 1
+        out = export_chrome_trace(trace_path, args.output)
+        print(f"wrote {out}")
+        return 0
     try:
-        print(render_report(args.run_dir))
+        if args.format == "chrome-trace":
+            from .chrome import to_chrome_trace
+
+            trace_path = Path(args.run_dir) / TRACE_FILE
+            if not trace_path.exists():
+                raise FileNotFoundError(f"{trace_path} does not exist")
+            print(json.dumps(to_chrome_trace(load_trace_events(trace_path)),
+                             indent=1, sort_keys=True))
+        else:
+            print(render_report(args.run_dir))
     except FileNotFoundError as error:
         print(f"error: {error}")
         return 1

@@ -9,11 +9,23 @@ was installed before and writes three artifacts under the run directory::
     <run_dir>/trace.jsonl    one span per line (header line first)
     <run_dir>/profile.json   per-autograd-op counts, seconds, bytes
 
-Render them with ``python -m repro.obs report <run_dir>``.
+``trace.jsonl`` is written **live**: a background flusher appends finished
+spans every ``flush_interval`` seconds (and promptly after any span wider
+than ``flush_threshold`` closes), so ``python -m repro.obs tail <run_dir>``
+can follow a run while it executes and a crash loses at most one interval
+of spans.  Spans harvested from worker processes enter the same file via
+:meth:`append_spans` / :meth:`append_process` (see
+:class:`~repro.flare.runner.TelemetryCollector`); the stream ends with one
+``{"event": "end", ...}`` footer so readers can tell a finished trace from
+an aborted one.
+
+Render the artifacts with ``python -m repro.obs report <run_dir>``.
 """
 
 from __future__ import annotations
 
+import json
+import threading
 from pathlib import Path
 
 from . import metrics as _metrics
@@ -23,11 +35,62 @@ from .metrics import MetricsRegistry
 from .profiler import OpProfiler
 from .trace import Tracer
 
-__all__ = ["TelemetrySession"]
+__all__ = ["TelemetrySession", "TraceStreamWriter"]
 
 METRICS_FILE = "metrics.json"
 TRACE_FILE = "trace.jsonl"
 PROFILE_FILE = "profile.json"
+
+
+class TraceStreamWriter:
+    """Append-only ``trace.jsonl`` writer shared by every producer.
+
+    The header line is written lazily on first use; every append is
+    serialized under one lock and flushed to disk immediately, so a
+    concurrent ``tail`` (or a post-crash read) always sees whole lines.
+    """
+
+    def __init__(self, path: str | Path, header: dict) -> None:
+        self.path = Path(path)
+        self._header = dict(header)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._n_records = 0
+        self._closed = False
+
+    def _ensure_open(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+            self._fh.write(json.dumps(self._header) + "\n")
+            self._fh.flush()
+        return self._fh
+
+    def append(self, records: list[dict]) -> None:
+        """Append record dicts (spans, process markers) as JSONL lines."""
+        if not records:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            fh = self._ensure_open()
+            for record in records:
+                fh.write(json.dumps(record, default=str) + "\n")
+                self._n_records += 1
+            fh.flush()
+
+    def close(self, footer: dict | None = None) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            fh = self._ensure_open()
+            if footer is not None:
+                fh.write(json.dumps(dict(footer, n_records=self._n_records),
+                                    default=str) + "\n")
+            fh.flush()
+            fh.close()
+            self._fh = None
+            self._closed = True
 
 
 class TelemetrySession:
@@ -47,18 +110,40 @@ class TelemetrySession:
         to control detectors/quarantine.  The session only owns the
         artifact pointer — whoever runs the federation (the controller via
         ``SimulatorRunner``) drives the monitor round by round.
+    trace_id, process:
+        Forwarded to the :class:`Tracer` — the federation runner labels
+        the parent tracer ``server`` and hands the minted ``trace_id`` to
+        every worker process.
+    flush_interval:
+        Cadence of the live ``trace.jsonl`` flusher (seconds).  ``None``
+        disables streaming: the trace is then written once at
+        :meth:`stop`, exactly like the metrics/profile artifacts.
+    flush_threshold:
+        Spans at least this wide kick an immediate flush when they close
+        (a finished round shows up in ``tail`` without waiting out the
+        interval).
     """
 
     def __init__(self, run_dir: str | Path, metrics: bool = True,
                  trace: bool = True, profile: bool = True,
-                 health: bool | HealthMonitor = False) -> None:
+                 health: bool | HealthMonitor = False,
+                 trace_id: str | None = None, process: str | None = None,
+                 flush_interval: float | None = 0.5,
+                 flush_threshold: float = 0.2) -> None:
         self.run_dir = Path(run_dir)
         self.registry: MetricsRegistry | None = MetricsRegistry() if metrics else None
-        self.tracer: Tracer | None = Tracer() if trace else None
+        self.tracer: Tracer | None = (
+            Tracer(trace_id=trace_id, process=process) if trace else None)
         self.profiler: OpProfiler | None = OpProfiler() if profile else None
         if health is True:
             health = HealthMonitor(run_dir=self.run_dir)
         self.health: HealthMonitor | None = health or None
+        self.flush_interval = flush_interval
+        self.flush_threshold = flush_threshold
+        self._writer: TraceStreamWriter | None = None
+        self._flusher: threading.Thread | None = None
+        self._flush_kick = threading.Event()
+        self._flusher_stop = threading.Event()
         self._previous_registry: MetricsRegistry | None = None
         self._previous_tracer: Tracer | None = None
         self._active = False
@@ -78,6 +163,46 @@ class TelemetrySession:
         return paths
 
     # ------------------------------------------------------------------
+    # live streaming
+    # ------------------------------------------------------------------
+    def _ensure_writer(self) -> TraceStreamWriter | None:
+        if self.tracer is None:
+            return None
+        if self._writer is None:
+            self._writer = TraceStreamWriter(self.run_dir / TRACE_FILE,
+                                             self.tracer.header())
+        return self._writer
+
+    def flush(self) -> None:
+        """Drain the session tracer's finished spans into ``trace.jsonl``."""
+        writer = self._ensure_writer()
+        if writer is not None and self.tracer is not None:
+            writer.append(self.tracer.drain())
+
+    def append_spans(self, spans: list[dict]) -> None:
+        """Append externally-harvested spans (worker deltas) to the stream."""
+        writer = self._ensure_writer()
+        if writer is not None:
+            writer.append(list(spans))
+
+    def append_process(self, record: dict) -> None:
+        """Append one ``{"event": "process", ...}`` marker to the stream."""
+        writer = self._ensure_writer()
+        if writer is not None:
+            writer.append([dict(record, event=record.get("event", "process"))])
+
+    def _kick(self) -> None:
+        self._flush_kick.set()
+
+    def _flush_loop(self) -> None:
+        while not self._flusher_stop.is_set():
+            self._flush_kick.wait(self.flush_interval)
+            self._flush_kick.clear()
+            if self._flusher_stop.is_set():
+                break
+            self.flush()
+
+    # ------------------------------------------------------------------
     def start(self) -> "TelemetrySession":
         if self._active:
             return self
@@ -85,6 +210,13 @@ class TelemetrySession:
             self._previous_registry = _metrics.set_registry(self.registry)
         if self.tracer is not None:
             self._previous_tracer = _trace.set_tracer(self.tracer)
+            if self.flush_interval is not None:
+                self._ensure_writer()
+                self.tracer.set_flush_hook(self._kick, self.flush_threshold)
+                self._flusher_stop.clear()
+                self._flusher = threading.Thread(
+                    target=self._flush_loop, name="telemetry-flusher", daemon=True)
+                self._flusher.start()
         if self.profiler is not None:
             self.profiler.install()
         self._active = True
@@ -94,9 +226,15 @@ class TelemetrySession:
         """Restore previous instruments and write the artifacts."""
         if not self._active:
             return {}
+        if self._flusher is not None:
+            self._flusher_stop.set()
+            self._flush_kick.set()
+            self._flusher.join(timeout=10.0)
+            self._flusher = None
         if self.profiler is not None:
             self.profiler.uninstall()
         if self.tracer is not None:
+            self.tracer.set_flush_hook(None)
             _trace.set_tracer(self._previous_tracer)
         if self.registry is not None and self._previous_registry is not None:
             _metrics.set_registry(self._previous_registry)
@@ -106,7 +244,10 @@ class TelemetrySession:
         if self.registry is not None:
             self.registry.save_json(self.run_dir / METRICS_FILE)
         if self.tracer is not None:
-            self.tracer.export_jsonl(self.run_dir / TRACE_FILE)
+            self.flush()
+            if self._writer is not None:
+                self._writer.close({"event": "end",
+                                    "trace_id": self.tracer.trace_id})
         if self.profiler is not None:
             self.profiler.save_json(self.run_dir / PROFILE_FILE)
         if self.health is not None:

@@ -110,3 +110,31 @@ class TestMain:
     def test_exit_one_on_missing(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope")]) == 1
         assert "error" in capsys.readouterr().out
+
+    def test_report_chrome_trace_format(self, run_dir, capsys):
+        import json
+
+        assert main(["report", str(run_dir), "--format=chrome-trace"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert {"round", "aggregate"} <= names
+
+    def test_trace_export_writes_chrome_json(self, run_dir, capsys):
+        import json
+
+        assert main(["trace", "export", str(run_dir)]) == 0
+        out_path = run_dir / "trace.chrome.json"
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out_path.read_text())["traceEvents"]
+
+    def test_trace_export_missing_file(self, tmp_path, capsys):
+        assert main(["trace", "export", str(tmp_path)]) == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_tail_finished_run(self, run_dir, capsys):
+        assert main(["tail", str(run_dir)]) == 0
+        assert "round 0 complete" in capsys.readouterr().out
+
+    def test_tail_empty_dir(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path), "--idle-timeout=0.1"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Live trace streaming: the shared writer and the session's flusher."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.obs import TelemetrySession, TraceStreamWriter, span
+from repro.obs.report import load_trace, load_trace_events
+
+
+def read_lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestTraceStreamWriter:
+    def test_header_written_lazily(self, tmp_path):
+        writer = TraceStreamWriter(tmp_path / "t.jsonl",
+                                   {"schema": "s", "trace_id": "t"})
+        assert not (tmp_path / "t.jsonl").exists()
+        writer.append([{"span_id": "p-1", "name": "a"}])
+        lines = read_lines(tmp_path / "t.jsonl")
+        assert lines[0] == {"schema": "s", "trace_id": "t"}
+        assert lines[1]["span_id"] == "p-1"
+
+    def test_every_append_is_durable_whole_lines(self, tmp_path):
+        writer = TraceStreamWriter(tmp_path / "t.jsonl", {"schema": "s"})
+        writer.append([{"span_id": "p-1"}])
+        writer.append([{"span_id": "p-2"}, {"span_id": "p-3"}])
+        # no close: a concurrent reader must still see complete JSON lines
+        assert [r.get("span_id") for r in read_lines(tmp_path / "t.jsonl")] \
+            == [None, "p-1", "p-2", "p-3"]
+
+    def test_footer_counts_records(self, tmp_path):
+        writer = TraceStreamWriter(tmp_path / "t.jsonl", {"schema": "s"})
+        writer.append([{"span_id": "p-1"}, {"span_id": "p-2"}])
+        writer.close({"event": "end"})
+        footer = read_lines(tmp_path / "t.jsonl")[-1]
+        assert footer == {"event": "end", "n_records": 2}
+
+    def test_append_after_close_is_dropped(self, tmp_path):
+        writer = TraceStreamWriter(tmp_path / "t.jsonl", {"schema": "s"})
+        writer.close({"event": "end"})
+        writer.append([{"span_id": "late"}])
+        writer.close({"event": "end"})  # idempotent
+        records = read_lines(tmp_path / "t.jsonl")
+        assert len(records) == 2  # header + one footer
+        assert all(r.get("span_id") != "late" for r in records)
+
+    def test_empty_append_writes_nothing(self, tmp_path):
+        writer = TraceStreamWriter(tmp_path / "t.jsonl", {"schema": "s"})
+        writer.append([])
+        assert not (tmp_path / "t.jsonl").exists()
+
+
+class TestStreamingSession:
+    def test_spans_appear_before_stop(self, tmp_path):
+        session = TelemetrySession(tmp_path, metrics=False, profile=False,
+                                   flush_interval=0.05,
+                                   flush_threshold=0.0).start()
+        try:
+            with span("round", round=0):
+                pass
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if (tmp_path / "trace.jsonl").exists() and \
+                        load_trace(tmp_path / "trace.jsonl"):
+                    break
+                time.sleep(0.02)
+            live = load_trace(tmp_path / "trace.jsonl")
+            assert [s["name"] for s in live] == ["round"]
+            events = load_trace_events(tmp_path / "trace.jsonl")
+            assert not any(e.get("event") == "end" for e in events)
+        finally:
+            session.stop()
+        events = load_trace_events(tmp_path / "trace.jsonl")
+        assert events[-1]["event"] == "end"
+        assert events[-1]["trace_id"] == session.tracer.trace_id
+
+    def test_external_spans_and_process_markers_merge(self, tmp_path):
+        session = TelemetrySession(tmp_path, metrics=False, profile=False,
+                                   flush_interval=0.05).start()
+        try:
+            session.append_process({"process": "site-1", "client": "site-1",
+                                    "clock_offset": 0.001})
+            session.append_spans([{"span_id": "site-1-000001",
+                                   "name": "client_task", "process": "site-1",
+                                   "t_start": 0.0, "t_end": 0.1}])
+        finally:
+            session.stop()
+        events = load_trace_events(tmp_path / "trace.jsonl")
+        assert any(e.get("event") == "process"
+                   and e.get("process") == "site-1" for e in events)
+        assert any(e.get("span_id") == "site-1-000001" for e in events)
+
+    def test_no_streaming_still_writes_full_trace_at_stop(self, tmp_path):
+        session = TelemetrySession(tmp_path, metrics=False, profile=False,
+                                   flush_interval=None).start()
+        try:
+            with span("round", round=0):
+                time.sleep(0.01)
+            assert not (tmp_path / "trace.jsonl").exists()
+        finally:
+            session.stop()
+        spans = load_trace(tmp_path / "trace.jsonl")
+        assert [s["name"] for s in spans] == ["round"]
+        assert load_trace_events(tmp_path / "trace.jsonl")[-1]["event"] == "end"
+
+    def test_wide_span_kicks_prompt_flush(self, tmp_path):
+        session = TelemetrySession(tmp_path, metrics=False, profile=False,
+                                   flush_interval=30.0,
+                                   flush_threshold=0.01).start()
+        try:
+            with span("slow"):
+                time.sleep(0.02)
+            deadline = time.monotonic() + 5.0
+            flushed = []
+            while time.monotonic() < deadline and not flushed:
+                if (tmp_path / "trace.jsonl").exists():
+                    flushed = load_trace(tmp_path / "trace.jsonl")
+                time.sleep(0.02)
+            # the 30s interval cannot have elapsed: the threshold hook did it
+            assert [s["name"] for s in flushed] == ["slow"]
+        finally:
+            session.stop()

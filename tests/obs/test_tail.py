@@ -1,0 +1,132 @@
+"""Live trace follower: incremental reads, footer stop, progress lines."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+from repro.obs.tail import _RoundTracker, iter_trace_records, tail_run
+
+
+def write_lines(path, records, mode="a"):
+    with path.open(mode) as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+HEADER = {"schema": "repro.obs.trace/v2", "trace_id": "t" * 32,
+          "process": "server"}
+
+
+def span_record(name, span_id="server-000001", process="server", t_end=0.2,
+                **attrs):
+    return {"span_id": span_id, "parent_id": None, "name": name,
+            "process": process, "thread": "MainThread", "t_start": 0.1,
+            "t_end": t_end, "wall_s": None if t_end is None else t_end - 0.1,
+            "excl_s": 0.0, "attrs": attrs}
+
+
+class TestIterTraceRecords:
+    def test_stops_at_end_footer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_lines(path, [HEADER, span_record("round", round=0),
+                           {"event": "end", "trace_id": "t" * 32}], mode="w")
+        records = list(iter_trace_records(path, poll=0.01))
+        assert [r.get("event", r.get("name", "header")) for r in records] \
+            == ["header", "round", "end"]
+
+    def test_idle_timeout_without_footer(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_lines(path, [HEADER], mode="w")
+        records = list(iter_trace_records(path, poll=0.01, idle_timeout=0.1))
+        assert len(records) == 1  # header only; returned instead of hanging
+
+    def test_missing_file_times_out_cleanly(self, tmp_path):
+        records = list(iter_trace_records(tmp_path / "absent.jsonl",
+                                          poll=0.01, idle_timeout=0.1))
+        assert records == []
+
+    def test_partial_line_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_lines(path, [HEADER], mode="w")
+        full_line = json.dumps(span_record("round", round=0)) + "\n"
+        with path.open("a") as fh:
+            fh.write(full_line[:20])  # writer mid-append
+            fh.flush()
+
+            collected = []
+
+            def consume():
+                collected.extend(iter_trace_records(path, poll=0.01))
+
+            reader = threading.Thread(target=consume)
+            reader.start()
+            fh.write(full_line[20:])
+            fh.flush()
+            fh.write(json.dumps({"event": "end"}) + "\n")
+            fh.flush()
+            reader.join(timeout=5.0)
+        assert not reader.is_alive()
+        assert [r.get("name") for r in collected] == [None, "round", None]
+
+    def test_live_appends_are_picked_up(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_lines(path, [HEADER], mode="w")
+        collected = []
+
+        def consume():
+            collected.extend(iter_trace_records(path, poll=0.01))
+
+        reader = threading.Thread(target=consume)
+        reader.start()
+        write_lines(path, [span_record("round", round=0)])
+        write_lines(path, [{"event": "end"}])
+        reader.join(timeout=5.0)
+        assert not reader.is_alive()
+        assert len(collected) == 3
+
+
+class TestProgressRendering:
+    def test_round_digest_lines(self):
+        tracker = _RoundTracker()
+        lines = [tracker.feed(r) for r in (
+            HEADER,
+            {"event": "process", "process": "site-1", "client": "site-1",
+             "clock_offset": 1.5e-6},
+            span_record("client_task", span_id="site-1-000001",
+                        process="site-1", round=0, client="site-1"),
+            span_record("round", round=0),
+            {"event": "end"},
+        )]
+        assert "trace " + "t" * 32 in lines[0]
+        assert "site-1 joined" in lines[1] and "+1.5us" in lines[1]
+        assert "round 0: client site-1 done" in lines[2]
+        assert "round 0 complete" in lines[3]
+        assert "1 task(s) streamed" in lines[3]
+        assert lines[4] == "run ended"
+
+    def test_aborted_span_flagged(self):
+        tracker = _RoundTracker()
+        line = tracker.feed(span_record("client_task", process="site-2",
+                                        t_end=None, round=1))
+        assert "aborted" in line and "site-2" in line
+
+    def test_uninteresting_spans_stay_quiet(self):
+        tracker = _RoundTracker()
+        assert tracker.feed(span_record("codec.encode")) is None
+
+
+class TestTailRun:
+    def test_tail_run_prints_and_counts(self, tmp_path):
+        write_lines(tmp_path / "trace.jsonl",
+                    [HEADER, span_record("round", round=0),
+                     {"event": "end"}], mode="w")
+        out = io.StringIO()
+        seen = tail_run(tmp_path, stream=out, poll=0.01)
+        assert seen == 3
+        assert "round 0 complete" in out.getvalue()
+
+    def test_tail_run_empty_dir_times_out(self, tmp_path):
+        assert tail_run(tmp_path, stream=io.StringIO(), poll=0.01,
+                        idle_timeout=0.1) == 0

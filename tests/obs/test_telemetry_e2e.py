@@ -27,8 +27,10 @@ def make_job(num_rounds=2, **kw):
 
 def load_trace_names(path) -> dict[str, int]:
     names: dict[str, int] = {}
-    for line in path.read_text().splitlines()[1:]:
+    for line in path.read_text().splitlines():
         record = json.loads(line)
+        if "span_id" not in record:
+            continue  # header / process marker / end footer
         names[record["name"]] = names.get(record["name"], 0) + 1
     return names
 

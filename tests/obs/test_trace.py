@@ -84,12 +84,123 @@ class TestExport:
                 pass
         path = tracer.export_jsonl(tmp_path / "trace.jsonl")
         lines = [json.loads(line) for line in path.read_text().splitlines()]
-        assert lines[0]["schema"] == "repro.obs.trace/v1"
+        assert lines[0]["schema"] == "repro.obs.trace/v2"
+        assert lines[0]["trace_id"] == tracer.trace_id
         assert lines[0]["n_spans"] == 2
         spans = lines[1:]
         assert [s["name"] for s in spans] == ["a", "b"]  # sorted by t_start
         for record in spans:
-            assert set(record) == {"span_id", "parent_id", "name", "thread",
-                                   "t_start", "t_end", "wall_s", "excl_s",
-                                   "attrs"}
+            assert set(record) == {"span_id", "parent_id", "name", "process",
+                                   "thread", "t_start", "t_end", "wall_s",
+                                   "excl_s", "attrs"}
             assert record["wall_s"] >= record["excl_s"] >= 0
+
+
+class TestDistributed:
+    def test_span_ids_are_process_prefixed_strings(self):
+        tracer = Tracer(process="site-1")
+        with tracer.span("a") as a:
+            pass
+        assert a.span_id.startswith("site-1-")
+
+    def test_two_processes_never_collide(self):
+        left, right = Tracer(process="site-1"), Tracer(process="site-2")
+        ids = set()
+        for tracer in (left, right):
+            for _ in range(50):
+                with tracer.span("x") as s:
+                    ids.add(s.span_id)
+        assert len(ids) == 100
+
+    def test_traceparent_roundtrip_with_dashed_span_id(self):
+        header = trace.format_traceparent("ab" * 16, "site-1-00000a")
+        trace_id, span_id = trace.parse_traceparent(header)
+        assert trace_id == "ab" * 16
+        assert span_id == "site-1-00000a"
+
+    def test_remote_parent_overrides_local_stack(self, tracer):
+        with span("round", round=0) as parent:
+            ctx = tracer.current_context()
+        with span("client_thread"):
+            with span("client_task", remote_parent=ctx) as task:
+                pass
+        assert task.parent_id == parent.span_id
+
+    def test_current_context_carries_trace_id(self, tracer):
+        with span("round"):
+            ctx = tracer.current_context()
+        trace_id, _ = trace.parse_traceparent(ctx["traceparent"])
+        assert trace_id == tracer.trace_id
+        assert isinstance(ctx["ts"], float)
+
+    def test_clock_offset_aligns_child_to_parent_timeline(self):
+        parent = Tracer(process="server")
+        child = Tracer(trace_id=parent.trace_id, process="site-1",
+                       adopt_clock=True)
+        send_mono = time.monotonic()
+        ctx = parent.current_context(send_mono)
+        child.observe_remote(ctx, send_mono)
+        # the same instant must now read (almost) identically on both
+        now = time.monotonic()
+        t_parent = now - parent.origin
+        t_child = (now - child.origin) + child.clock_offset
+        assert abs(t_parent - t_child) < 1e-6
+
+    def test_offset_applies_to_spans_recorded_before_sync(self):
+        parent = Tracer(process="server")
+        child = Tracer(trace_id=parent.trace_id, process="site-1",
+                       adopt_clock=True)
+        with child.span("early"):
+            pass
+        child.observe_remote(parent.current_context(time.monotonic()),
+                             time.monotonic())
+        [record] = child.drain()
+        assert record["t_start"] == pytest.approx(
+            child.spans[0].t_start + child.clock_offset, abs=1e-5)
+
+    def test_non_adopting_tracer_ignores_remote_clock(self, tracer):
+        other = Tracer(process="other")
+        tracer.observe_remote(other.current_context(time.monotonic()),
+                              time.monotonic())
+        assert tracer.clock_offset == 0.0
+
+
+class TestDrain:
+    def test_drain_hands_out_each_span_once(self, tracer):
+        with span("a"):
+            pass
+        first = tracer.drain()
+        assert [s["name"] for s in first] == ["a"]
+        assert tracer.drain() == []
+        with span("b"):
+            pass
+        assert [s["name"] for s in tracer.drain()] == ["b"]
+        # the in-memory record keeps everything for end-of-run reporting
+        assert [s.name for s in tracer.spans] == ["a", "b"]
+
+    def test_open_spans_visible_until_closed(self, tracer):
+        with span("outer") as outer:
+            opened = tracer.open_spans()
+            assert [o["span_id"] for o in opened] == [outer.span_id]
+            assert "t_end" not in opened[0]
+        assert tracer.open_spans() == []
+
+    def test_flush_hook_fires_above_threshold(self, tracer):
+        kicks = []
+        tracer.set_flush_hook(lambda: kicks.append(1), threshold=0.01)
+        with span("fast"):
+            pass
+        assert kicks == []
+        with span("slow"):
+            time.sleep(0.02)
+        assert kicks == [1]
+
+    def test_record_complete_parents_under_current_span(self, tracer):
+        with span("client_task") as task:
+            tracer.record_complete("codec.encode", 0.005, codec="raw",
+                                   bytes=128)
+        encode = next(s for s in tracer.spans if s.name == "codec.encode")
+        assert encode.parent_id == task.span_id
+        assert encode.attrs == {"codec": "raw", "bytes": 128}
+        assert encode.wall_seconds == pytest.approx(0.005)
+        assert task.n_children == 1
