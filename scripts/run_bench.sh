@@ -8,15 +8,17 @@
 # back-to-back pairs produce trustworthy ratios; the report keeps every round
 # and summarises min- and median-based speedups.  The fused-vs-reference op
 # microbenchmark, the wire benchmark (codec throughput + federated
-# bytes-per-round per compression setting) and the parallel serial-vs-pool
-# A/B (scripts/bench_smoke.py) run once on the candidate side.
+# bytes-per-round per compression setting), the parallel serial-vs-pool
+# A/B (scripts/bench_smoke.py) and the massive-cohort benches (flat-vs-tree
+# fan-in, sync-vs-async wall-clock, gated cohort smoke) run once on the
+# candidate side.
 #
 # Usage:
 #   scripts/run_bench.sh
 #
 # Environment:
 #   BENCH_PR      PR number being benchmarked; names the output file and picks
-#                 the default baseline ("PR <N-1>:" commit) (default: 7)
+#                 the default baseline ("PR <N-1>:" commit) (default: 9)
 #   BASELINE_REF  git rev to benchmark against (default: the "PR <N-1>:" commit)
 #   BENCH_MODELS  comma-separated model list (default: bert-mini,lstm,bert)
 #   BENCH_ROUNDS  number of interleaved A/B rounds (default: 3)
@@ -27,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH_PR="${BENCH_PR:-7}"
+BENCH_PR="${BENCH_PR:-9}"
 BASELINE_REF="${BASELINE_REF:-$(git log --format=%H --grep="^PR $((BENCH_PR - 1)):" -n 1)}"
 if [ -z "$BASELINE_REF" ]; then
     echo "error: could not resolve baseline rev; set BASELINE_REF" >&2
@@ -74,6 +76,18 @@ echo "parallel bench (serial vs shm worker pool)" >&2
 # report is registered below
 python scripts/bench_smoke.py --run-dir "$WORK/parallel-runs" \
     --out "$WORK/parallel.json" --registry "" >/dev/null
+
+echo "cohort bench (flat-vs-tree fan-in + sync-vs-async rounds)" >&2
+PYTHONPATH="src" python -m pytest benchmarks/test_massive_cohort.py \
+    -q --benchmark-json="$WORK/cohort.json" >/dev/null
+
+echo "cohort smoke (reduced: 200-client async run, determinism gates)" >&2
+# candidate side only, reduced from the CI-sized 1,000-client run; the
+# registry diff is skipped here because the combined report is registered
+# below — the materialization/RSS/bit-identity gates still apply
+python scripts/cohort_smoke.py --clients 200 --commits 2 --buffer 16 \
+    --concurrency 32 --dim 256 --run-dir "$WORK/cohort-runs" \
+    --out "$WORK/cohort_smoke.json" --registry "" >/dev/null
 
 PYTHONPATH="src" python - "$WORK" "$BENCH_ROUNDS" "$BASELINE_REF" "$BENCH_OUT" "$BENCH_PR" <<'EOF'
 import json
@@ -185,6 +199,52 @@ for model, settings in federation_out.items():
         registry.gauge("bench.wire_bytes_per_round", model=model,
                        compression=setting).set(entry["bytes_per_round_steady"])
 
+# Massive-cohort benches: flat-vs-tree fan-in and sync-vs-async simulated
+# rounds (candidate side only — the baseline has neither mechanism).
+cohort = load(f"{work}/cohort.json")
+fanin_out, cohort_rounds = {}, {}
+for name, stat in cohort.items():
+    extra = stat["extra"]
+    if name.startswith("test_fanin"):
+        fanin_out.setdefault(extra["family"], {})[extra["mode"]] = {
+            "min_ms": round(stat["min"] * 1e3, 2),
+            "n_updates": extra["n_updates"],
+            "peak_materialized": extra["peak_materialized"],
+            "depth": extra["depth"],
+        }
+    elif name.startswith("test_cohort_round"):
+        cohort_rounds[extra["mode"]] = {
+            "wallclock_ms": round(stat["min"] * 1e3, 1),
+            "clients": extra["clients"],
+            "commits": extra["commits"],
+            "updates_per_commit": extra["updates_per_commit"],
+            "bytes_delivered": extra["bytes_delivered"],
+            "peak_materialized_updates": extra["peak_materialized_updates"],
+            "staleness_max": extra["staleness_max"],
+        }
+for family, pair in fanin_out.items():
+    flat, tree = pair.get("flat"), pair.get("tree")
+    if flat and tree and tree["peak_materialized"]:
+        pair["materialization_reduction"] = round(
+            flat["peak_materialized"] / tree["peak_materialized"], 2)
+    for mode, entry in list(pair.items()):
+        if isinstance(entry, dict):
+            registry.gauge("bench.fanin_peak_materialized", family=family,
+                           mode=mode).set(entry["peak_materialized"])
+for mode, entry in cohort_rounds.items():
+    registry.gauge("bench.cohort_round_ms",
+                   mode=mode).set(entry["wallclock_ms"])
+
+with open(f"{work}/cohort_smoke.json") as fh:
+    cohort_smoke = json.load(fh)
+cohort_out = {
+    "fanin": fanin_out,
+    "rounds": cohort_rounds,
+    "smoke": {key: cohort_smoke[key]
+              for key in ("cohort", "gates", "observed")
+              if key in cohort_smoke},
+}
+
 # Parallel serial-vs-pool A/B (bench_smoke.py output, candidate side only):
 # keep the protocol/wallclock/determinism sections; its metrics registry is
 # folded into the shared registry below.
@@ -218,6 +278,7 @@ report = {
         "federation_bytes_per_round": federation_out,
     },
     "parallel": parallel_out,
+    "cohort": cohort_out,
     "metrics": registry.to_dict(),
     "rounds": rounds_out,
 }
@@ -235,6 +296,17 @@ wallclock = parallel_out.get("wallclock", {})
 if wallclock:
     print(f"  parallel: pool vs serial best {wallclock['speedup_best']}x "
           f"(cores={parallel_out['protocol']['cores']})")
+median_fanin = fanin_out.get("median", {})
+if "materialization_reduction" in median_fanin:
+    print(f"  cohort fan-in: tree peak {median_fanin['tree']['peak_materialized']} "
+          f"vs flat {median_fanin['flat']['peak_materialized']} updates "
+          f"({median_fanin['materialization_reduction']}x lower)")
+observed = cohort_out["smoke"].get("observed", {})
+if observed:
+    print(f"  cohort smoke: peak materialized "
+          f"{observed['peak_materialized_updates']}, peak RSS "
+          f"{observed['peak_rss_mb']} MiB, "
+          f"bit_identical={observed['bit_identical']}")
 EOF
 
 # Register the report in the run registry so it shows up in

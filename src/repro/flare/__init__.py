@@ -11,8 +11,11 @@ from .aggregators import (
     CoordinateMedianAggregator,
     FedOptAggregator,
     InTimeAccumulateWeightedAggregator,
+    MaterializationTracker,
+    TreeAggregator,
     TrimmedMeanAggregator,
 )
+from .async_controller import AsyncScatterAndGather, staleness_discount
 from .client import FederatedClient, session_key_from_token
 from .constants import DataKind, EventType, FLRole, ReservedKey, ReturnCode, TaskName
 from .controller import ScatterAndGather
@@ -52,6 +55,13 @@ from .provision import (
     StartupKit,
     default_project,
     make_join_token,
+)
+from .sampling import (
+    ClientSampler,
+    StratifiedSampler,
+    UniformSampler,
+    WeightedSampler,
+    make_sampler,
 )
 from .security import (
     Certificate,
@@ -101,6 +111,9 @@ __all__ = [
     "FaultPlan", "FaultInjector", "FaultyMessageBus",
     "Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
     "CoordinateMedianAggregator", "TrimmedMeanAggregator",
+    "TreeAggregator", "MaterializationTracker",
+    "ClientSampler", "UniformSampler", "WeightedSampler", "StratifiedSampler",
+    "make_sampler",
     "FullModelShareableGenerator", "ModelPersistor",
     "DXOFilter", "FilterChain", "ExcludeVars", "GaussianPrivacy",
     "PercentilePrivacy", "NormClipPrivacy",
@@ -108,7 +121,8 @@ __all__ = [
     "Float16Quantize", "Float16Dequantize", "TopKSparsify", "TopKDensify",
     "Learner", "FederatedClient", "session_key_from_token",
     "FLServer", "AuthenticationError",
-    "ScatterAndGather", "CrossSiteModelEval",
+    "ScatterAndGather", "AsyncScatterAndGather", "staleness_discount",
+    "CrossSiteModelEval",
     "FLJob", "SimulatorRunner", "SimulationResult",
     "ClientRoundRecord", "RoundRecord", "RunStats",
 ]

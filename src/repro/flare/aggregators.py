@@ -17,11 +17,43 @@ from .events import FLComponent
 from .fl_context import FLContext
 
 __all__ = ["Aggregator", "InTimeAccumulateWeightedAggregator", "FedOptAggregator",
-           "CoordinateMedianAggregator", "TrimmedMeanAggregator"]
+           "CoordinateMedianAggregator", "TrimmedMeanAggregator",
+           "TreeAggregator", "MaterializationTracker"]
+
+
+class MaterializationTracker:
+    """Counts decoded client updates that are alive at the same instant.
+
+    The massive-cohort memory guarantee ("a 1,000-client round never holds
+    more than k decoded updates") is asserted against this counter: the
+    controller acquires around its decode-and-fold window, and stash-based
+    aggregators account every update (or partial) they keep alive beyond
+    that window.  ``peak`` is the high-water mark for the run.
+    """
+
+    def __init__(self) -> None:
+        self.live = 0
+        self.peak = 0
+
+    def acquire(self, n: int = 1) -> None:
+        self.live += n
+        if self.live > self.peak:
+            self.peak = self.live
+
+    def release(self, n: int = 1) -> None:
+        self.live = max(0, self.live - n)
 
 
 class Aggregator(FLComponent):
-    """Accumulate client DXOs during a round, then emit the aggregate."""
+    """Accumulate client DXOs during a round, then emit the aggregate.
+
+    ``tracker`` is optionally installed by the controller; aggregators that
+    *stash* whole updates (rather than folding them into running sums) must
+    account the stashed copies through it so the bounded-materialization
+    guarantee stays honest.
+    """
+
+    tracker: MaterializationTracker | None = None
 
     def accept(self, dxo: DXO, contributor: str, fl_ctx: FLContext) -> bool:
         raise NotImplementedError
@@ -31,6 +63,14 @@ class Aggregator(FLComponent):
 
     def reset(self) -> None:
         raise NotImplementedError
+
+    def _track(self, n: int = 1) -> None:
+        if self.tracker is not None and n:
+            self.tracker.acquire(n)
+
+    def _untrack(self, n: int = 1) -> None:
+        if self.tracker is not None and n:
+            self.tracker.release(n)
 
 
 class InTimeAccumulateWeightedAggregator(Aggregator):
@@ -152,6 +192,7 @@ class CoordinateMedianAggregator(Aggregator):
         self._contributors: list[str] = []
 
     def reset(self) -> None:
+        self._untrack(len(self._stash))
         self._stash = []
         self._contributors = []
 
@@ -171,6 +212,7 @@ class CoordinateMedianAggregator(Aggregator):
             return False
         self._stash.append({key: np.asarray(value, dtype=np.float64)
                             for key, value in dxo.data.items()})
+        self._track()  # the stashed copy outlives the caller's decode window
         self._contributors.append(contributor)
         self.log_info("Contribution from %s ACCEPTED by the aggregator at round %s.",
                       contributor, fl_ctx.get_prop("current_round", 0))
@@ -216,3 +258,133 @@ class TrimmedMeanAggregator(CoordinateMedianAggregator):
             return stacked.mean(axis=0)
         ordered = np.sort(stacked, axis=0)
         return ordered[self.trim:n - self.trim].mean(axis=0)
+
+
+class _TreeLevel:
+    """One level of the reduction tree: a node aggregator plus fill state."""
+
+    __slots__ = ("agg", "count", "weight")
+
+    def __init__(self, agg: Aggregator) -> None:
+        self.agg = agg
+        self.count = 0
+        self.weight = 0.0
+
+
+class TreeAggregator(Aggregator):
+    """Arity-``k`` hierarchical reduction over any node aggregator.
+
+    A flat fan-in over ``n`` clients either folds serially through one
+    accumulator or (for stash-based aggregators like the coordinate median)
+    materializes all ``n`` decoded updates at once.  The tree composes the
+    existing :class:`Aggregator` family into nodes of at most ``arity``
+    children: whenever a node fills, it is folded into a *partial* DXO —
+    weighted by the subtree's total contribution weight, so weighted means
+    compose exactly — and pushed one level up.  At any instant only the
+    currently-filling node per level holds data, so peak materialization is
+    O(``arity`` · log\\ :sub:`arity` ``n``) instead of O(``n``), and each
+    ``aggregate()`` call touches O(``arity``) inputs instead of O(``n``).
+
+    ``node_factory`` builds every tree node (default: the weighted-FedAvg
+    accumulator, for which the tree result equals the flat result up to
+    float association).  For order-statistic nodes (median/trimmed mean)
+    the tree computes a median-of-medians style *approximation* — document
+    the trade before swapping it in.
+    """
+
+    def __init__(self, node_factory=None, arity: int = 16,
+                 expected_data_kind: str = DataKind.WEIGHTS,
+                 name: str | None = None) -> None:
+        super().__init__(name=name)
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self.arity = arity
+        self.expected_data_kind = expected_data_kind
+        self.node_factory = node_factory or (
+            lambda: InTimeAccumulateWeightedAggregator(
+                expected_data_kind=expected_data_kind))
+        self._levels: list[_TreeLevel] = []
+        self._contributors: list[str] = []
+        self._folds = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        for level in self._levels:
+            level.agg.reset()
+        self._levels = []
+        self._contributors = []
+        self._folds = 0
+
+    @property
+    def contributors(self) -> list[str]:
+        return list(self._contributors)
+
+    @property
+    def depth(self) -> int:
+        """Levels currently allocated (≈ ceil(log_arity(n)) after n accepts)."""
+        return len(self._levels)
+
+    def _level(self, index: int) -> _TreeLevel:
+        while len(self._levels) <= index:
+            node = self.node_factory()
+            node.tracker = self.tracker
+            self._levels.append(_TreeLevel(node))
+        return self._levels[index]
+
+    # ------------------------------------------------------------------
+    def accept(self, dxo: DXO, contributor: str, fl_ctx: FLContext) -> bool:
+        if contributor in self._contributors:
+            self.log_warning("duplicate contribution from %s ignored", contributor)
+            return False
+        weight = float(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 1.0))
+        leaf = self._level(0)
+        if not leaf.agg.accept(dxo, contributor, fl_ctx):
+            return False
+        leaf.count += 1
+        leaf.weight += max(weight, 0.0)
+        self._contributors.append(contributor)
+        if leaf.count >= self.arity:
+            self._fold(0, fl_ctx)
+        return True
+
+    def _fold(self, index: int, fl_ctx: FLContext) -> None:
+        """Collapse level ``index`` into a partial and push it one level up."""
+        level = self._levels[index]
+        partial = level.agg.aggregate(fl_ctx)
+        # the partial stands in for its whole subtree at the parent: weight
+        # it by the subtree's total so the weighted mean composes exactly
+        partial.set_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND,
+                              level.weight if level.weight > 0 else level.count)
+        subtree_weight = level.weight
+        level.agg.reset()
+        level.count = 0
+        level.weight = 0.0
+        self._folds += 1
+        parent = self._level(index + 1)
+        if not parent.agg.accept(partial, f"tree:l{index}:{self._folds}", fl_ctx):
+            raise RuntimeError(
+                f"tree level {index + 1} rejected a partial aggregate")
+        parent.count += 1
+        parent.weight += subtree_weight
+        if parent.count >= self.arity:
+            self._fold(index + 1, fl_ctx)
+
+    def aggregate(self, fl_ctx: FLContext) -> DXO:
+        if not any(level.count for level in self._levels):
+            raise RuntimeError("nothing to aggregate")
+        # flush upward: every level that has company above it folds into the
+        # next level, leaving exactly one node holding the whole tree
+        index = 0
+        while index < len(self._levels):
+            level = self._levels[index]
+            above = any(entry.count for entry in self._levels[index + 1:])
+            if level.count and above:
+                self._fold(index, fl_ctx)
+            index += 1
+        top = max(i for i, level in enumerate(self._levels) if level.count)
+        self.log_info("tree-aggregating %d update(s) through %d level(s) "
+                      "(arity %d) at round %s", len(self._contributors),
+                      top + 1, self.arity, fl_ctx.get_prop("current_round", 0))
+        result = self._levels[top].agg.aggregate(fl_ctx)
+        result.meta["contributors"] = list(self._contributors)
+        return result

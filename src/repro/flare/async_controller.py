@@ -1,0 +1,386 @@
+"""AsyncScatterAndGather: FedBuff-style buffered asynchronous aggregation.
+
+The synchronous :class:`~repro.flare.controller.ScatterAndGather` runs a
+round barrier: every sampled site must answer (or time out) before the
+global model moves.  At massive cohort sizes the barrier makes each round as
+slow as its slowest site.  This controller removes it, after FedBuff
+(Nguyen et al., AISTATS 2022):
+
+- the global model carries a **version** (the number of commits so far);
+- at most ``concurrency`` sites hold an outstanding task at any instant,
+  each stamped with the version it started from;
+- updates are admitted **as they stream in** and folded immediately with a
+  staleness-discounted weight ``w / (1 + s)**staleness_alpha`` where ``s``
+  is how many commits the global advanced since the update's dispatch;
+- every ``buffer_size`` accepted updates the buffer is **committed**: the
+  aggregate becomes the new global, the version advances, and freed sites
+  are re-tasked with the fresh model.
+
+Quorum machinery is reused from the synchronous path: a commit window that
+times out with at least ``min_clients`` accepted updates commits the partial
+buffer; with fewer it keeps the previous global and counts against
+``max_failed_rounds`` exactly like an under-quorum synchronous round.  The
+health monitor's per-update diagnostics and quarantine windows apply
+unchanged (a quarantined site's update is recorded but not folded).
+
+Determinism: under the in-memory fabric with ``SimulatorRunner``'s
+sequential drive (``threads=False``) every dispatch wave is answered
+synchronously and in registration order, and sampling is a pure function of
+``(seed, wave)`` — so a same-seed run is bit-reproducible, which the
+massive-cohort gate (`scripts/cohort_smoke.py`) asserts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.health import HealthMonitor
+from .aggregators import Aggregator, MaterializationTracker
+from .constants import EventType, ReservedKey, ReturnCode, TaskName
+from .controller import _BYTE_BUCKETS, Evaluator
+from .dxo import MetaKey
+from .events import FLComponent, format_names
+from .filters import DXOFilter
+from .persistor import ModelPersistor
+from .sampling import ClientSampler, UniformSampler
+from .server import FLServer
+from .shareable import to_dxo
+from .shareable_generator import FullModelShareableGenerator
+from .stats import ClientRoundRecord, RoundRecord, RunStats
+
+__all__ = ["AsyncScatterAndGather", "staleness_discount"]
+
+
+def staleness_discount(staleness: int, alpha: float) -> float:
+    """FedBuff's polynomial staleness penalty: ``1 / (1 + s)**alpha``."""
+    return 1.0 / (1.0 + max(0, int(staleness))) ** alpha
+
+
+class AsyncScatterAndGather(FLComponent):
+    """Buffered asynchronous federated aggregation (FedBuff-style).
+
+    Parameters mirror :class:`ScatterAndGather` where shared; the async-only
+    knobs are:
+
+    buffer_size:
+        Accepted updates per global commit (FedBuff's K).
+    concurrency:
+        Target number of sites holding an outstanding task at any instant
+        (FedBuff's Mc).  Defaults to ``min(2 * buffer_size, n_sites)`` so
+        the buffer refills while stale stragglers are still training.
+    staleness_alpha:
+        Exponent of the staleness discount; 0 disables discounting.
+    max_staleness:
+        Updates whose dispatch version is more than this many commits old
+        are dropped instead of folded (``None`` = accept any staleness).
+    num_rounds:
+        Number of global commits to run (each commit is recorded as one
+        round in the run stats, so downstream tooling needs no changes).
+    """
+
+    def __init__(self, server: FLServer, client_names: list[str],
+                 initial_weights: dict[str, np.ndarray],
+                 aggregator: Aggregator,
+                 shareable_generator: FullModelShareableGenerator | None = None,
+                 persistor: ModelPersistor | None = None,
+                 num_rounds: int = 10,
+                 buffer_size: int = 4,
+                 concurrency: int | None = None,
+                 staleness_alpha: float = 0.5,
+                 max_staleness: int | None = None,
+                 evaluator: Evaluator | None = None,
+                 result_filters: list[DXOFilter] | None = None,
+                 min_clients: int | None = None,
+                 result_timeout: float = 600.0,
+                 max_failed_rounds: int = 0,
+                 sampling_seed: int = 0,
+                 sampler: ClientSampler | None = None,
+                 health: HealthMonitor | None = None) -> None:
+        super().__init__(name="AsyncScatterAndGather")
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        if not client_names:
+            raise ValueError("need at least one client")
+        if buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
+        if max_failed_rounds < 0:
+            raise ValueError("max_failed_rounds must be non-negative")
+        if staleness_alpha < 0:
+            raise ValueError("staleness_alpha must be non-negative")
+        if max_staleness is not None and max_staleness < 0:
+            raise ValueError("max_staleness must be non-negative")
+        self.server = server
+        self.client_names = list(client_names)
+        self.global_weights = {key: np.asarray(value).copy()
+                               for key, value in initial_weights.items()}
+        self.aggregator = aggregator
+        self.shareable_generator = shareable_generator or FullModelShareableGenerator()
+        self.persistor = persistor
+        self.num_rounds = num_rounds
+        self.buffer_size = buffer_size
+        if concurrency is None:
+            concurrency = min(2 * buffer_size, len(self.client_names))
+        if not 0 < concurrency <= len(self.client_names):
+            raise ValueError("concurrency must be in [1, len(client_names)]")
+        self.concurrency = concurrency
+        self.staleness_alpha = staleness_alpha
+        self.max_staleness = max_staleness
+        self.evaluator = evaluator
+        self.result_filters = list(result_filters or [])
+        self.min_clients = min_clients if min_clients is not None else buffer_size
+        if self.min_clients > buffer_size:
+            raise ValueError(
+                f"min_clients={self.min_clients} can never be met: a commit "
+                f"window closes after buffer_size={buffer_size} update(s)")
+        self.result_timeout = result_timeout
+        self.max_failed_rounds = max_failed_rounds
+        self.sampler = sampler if sampler is not None \
+            else UniformSampler(seed=sampling_seed)
+        self.health = health
+        self.stats = RunStats()
+        self.materialization = MaterializationTracker()
+        self.aggregator.tracker = self.materialization
+        self._under_quorum_streak = 0
+        # model version = commits so far; each outstanding task remembers the
+        # version (and clock) it was dispatched at
+        self._version = 0
+        self._dispatched_at: dict[str, int] = {}
+        self._dispatch_clock: dict[str, float] = {}
+        self._wave = 0
+        self._discarded_stale = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunStats:
+        """Run ``num_rounds`` commits; returns the collected statistics."""
+        fl_ctx = self.server.fl_ctx
+        self.fire_event(EventType.START_RUN, fl_ctx)
+        for window_index in range(self.num_rounds):
+            with obs_trace.span("commit", commit=window_index) as span:
+                self._run_window(window_index, fl_ctx)
+                last = self.stats.rounds[-1] if self.stats.rounds else None
+                if last is not None and last.round_number == window_index:
+                    span.set_attr("quorum_met", last.quorum_met)
+                    span.set_attr("n_clients", len(last.client_records))
+        self._drain_in_flight()
+        self.fire_event(EventType.END_RUN, fl_ctx)
+        self.stats.messages_delivered = self.server.bus.delivered_count
+        self.stats.bytes_delivered = self.server.bus.delivered_bytes
+        self.stats.retries = self.server.bus.retry_count
+        self.stats.duplicates_dropped = self.server.bus.duplicates_dropped
+        self.stats.peak_materialized_updates = self.materialization.peak
+        return self.stats
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, fl_ctx) -> None:
+        """Top idle sites up to the concurrency target with the current global.
+
+        Site choice goes through the sampler (one "wave" per call, so the
+        draw is a pure function of ``(seed, wave)``); unreachable sites do
+        not count as outstanding.
+        """
+        idle = [name for name in self.client_names
+                if name not in self._dispatched_at]
+        want = min(self.concurrency - len(self._dispatched_at), len(idle))
+        if want <= 0:
+            return
+        targets = self.sampler.sample(idle, want, self._wave)
+        self._wave += 1
+        task = self.shareable_generator.learnable_to_shareable(
+            self.global_weights, fl_ctx)
+        task.set_header(ReservedKey.ROUND_NUMBER, self._version)
+        task.set_header(ReservedKey.TOTAL_ROUNDS, self.num_rounds)
+        unreachable = self.server.broadcast_task(TaskName.TRAIN, task, targets)
+        now = time.perf_counter()
+        for target in targets:
+            if target not in unreachable:
+                self._dispatched_at[target] = self._version
+                self._dispatch_clock[target] = now
+        if unreachable:
+            self.log_warning("dispatch wave %d: %d site(s) unreachable: %s",
+                             self._wave - 1, len(unreachable),
+                             format_names(unreachable))
+        # the sequential drive (threads=False) runs tasked clients off this
+        # event, so every wave must fire it — not just round boundaries
+        self.fire_event(EventType.TASKS_BROADCAST, fl_ctx)
+
+    # ------------------------------------------------------------------
+    def _run_window(self, window_index: int, fl_ctx) -> None:
+        """Fill one commit buffer and (quorum permitting) commit the global."""
+        window_started = time.perf_counter()
+        self.log_info("Commit window %d started (global version %d).",
+                      window_index, self._version)
+        fl_ctx.set_prop(ReservedKey.CURRENT_ROUND, window_index)
+        fl_ctx.set_prop("current_round", window_index)
+        self.fire_event(EventType.ROUND_STARTED, fl_ctx)
+        bytes_before = self.server.bus.delivered_bytes
+        if self.health is not None:
+            self.health.begin_round(window_index, list(self.client_names),
+                                    reference=self.global_weights)
+
+        record = RoundRecord(round_number=window_index)
+        self.aggregator.reset()
+        accepted = 0
+        contributors: set[str] = set()
+        failed: set[str] = set()
+        deadline = time.monotonic() + self.result_timeout
+        while accepted < self.buffer_size:
+            self._dispatch(fl_ctx)
+            if not self._dispatched_at:
+                # every reachable site is quarantined/unreachable — the
+                # window can only close under quorum
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            result = self.server.next_result(timeout=remaining)
+            if result is None:
+                break
+            sender, reply = result
+            dispatched_at = self._dispatched_at.pop(sender, self._version)
+            latency = time.perf_counter() - self._dispatch_clock.pop(
+                sender, window_started)
+            staleness = self._version - dispatched_at
+            if reply.return_code != ReturnCode.OK:
+                failed.add(sender)
+                self.log_warning("client %s returned %s; skipping its update",
+                                 sender, reply.return_code)
+                continue
+            dxo = to_dxo(reply)
+            del reply
+            self.materialization.acquire()  # decoded update is now live
+            for result_filter in self.result_filters:
+                with obs_trace.span("filter", stage="server_result",
+                                    filter=type(result_filter).__name__,
+                                    client=sender):
+                    dxo = result_filter.process(dxo, fl_ctx)
+            steps = int(dxo.get_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND, 0))
+            if self.health is not None:
+                self.health.record_update(
+                    sender, dxo.data, data_kind=dxo.data_kind, meta=dxo.meta,
+                    latency_seconds=latency)
+            obs_metrics.histogram("federation.async_staleness").observe(staleness)
+            if self.max_staleness is not None and staleness > self.max_staleness:
+                self._discarded_stale += 1
+                self.log_warning(
+                    "update from %s is %d commit(s) stale (max %d); discarded",
+                    sender, staleness, self.max_staleness)
+            elif self.health is not None and self.health.is_quarantined(
+                    sender, window_index):
+                contributors.add(sender)
+                self.log_warning("client %s is quarantined; excluding its "
+                                 "update from aggregation", sender)
+            else:
+                weight = float(dxo.get_meta_prop(
+                    MetaKey.NUM_STEPS_CURRENT_ROUND, 1.0))
+                discount = staleness_discount(staleness, self.staleness_alpha)
+                dxo.set_meta_prop(MetaKey.NUM_STEPS_CURRENT_ROUND,
+                                  weight * discount)
+                if self.aggregator.accept(dxo, sender, fl_ctx):
+                    accepted += 1
+                    contributors.add(sender)
+            record.client_records.append(ClientRoundRecord(
+                client=sender,
+                round_number=window_index,
+                train_loss=float(dxo.get_meta_prop("train_loss", float("nan"))),
+                valid_acc=float(dxo.get_meta_prop("valid_acc", float("nan"))),
+                num_steps=steps,
+                seconds=float(dxo.get_meta_prop("train_seconds", 0.0)),
+                staleness=staleness,
+            ))
+            del dxo
+            self.materialization.release()  # folded (or discarded)
+
+        record.dropped_clients = sorted(failed)
+        obs_metrics.counter("federation.rounds").inc()
+        if accepted < self.min_clients:
+            obs_metrics.counter("federation.under_quorum_rounds").inc()
+            self._under_quorum_streak += 1
+            record.quorum_met = False
+            self._close_window(record, window_started, bytes_before)
+            if self._under_quorum_streak > self.max_failed_rounds:
+                raise RuntimeError(
+                    f"commit window {window_index}: only {accepted} usable "
+                    f"update(s) (min_clients={self.min_clients}) after "
+                    f"{self._under_quorum_streak} consecutive under-quorum "
+                    "window(s)")
+            self.log_warning(
+                "commit window %d: under quorum (%d/%d); keeping global "
+                "version %d (%d/%d tolerated failures)", window_index,
+                accepted, self.min_clients, self._version,
+                self._under_quorum_streak, self.max_failed_rounds)
+            self.fire_event(EventType.ROUND_DONE, fl_ctx)
+            return
+        self._under_quorum_streak = 0
+
+        self.fire_event(EventType.BEFORE_AGGREGATION, fl_ctx)
+        with obs_trace.span("aggregate", commit=window_index):
+            aggregation_started = time.perf_counter()
+            aggregated = self.aggregator.aggregate(fl_ctx)
+            obs_metrics.histogram("federation.aggregation_seconds").observe(
+                time.perf_counter() - aggregation_started)
+        self.global_weights = self.shareable_generator.dxo_to_learnable(
+            aggregated, self.global_weights)
+        self._version += 1
+        self.fire_event(EventType.AFTER_AGGREGATION, fl_ctx)
+        self.log_info("Committed global version %d (%d update(s), window %d).",
+                      self._version, accepted, window_index)
+
+        if self.evaluator is not None:
+            record.global_metrics = dict(self.evaluator(self.global_weights))
+        if self.persistor is not None:
+            self.persistor.save(self.global_weights, fl_ctx,
+                                metric=record.global_metrics.get("valid_acc"))
+        self._close_window(record, window_started, bytes_before)
+        self.fire_event(EventType.ROUND_DONE, fl_ctx)
+
+    # ------------------------------------------------------------------
+    def _close_window(self, record: RoundRecord, window_started: float,
+                      bytes_before: int) -> None:
+        """Shared window bookkeeping: timings, wire bytes, health verdicts."""
+        record.seconds = time.perf_counter() - window_started
+        record.bytes_on_wire = self.server.bus.delivered_bytes - bytes_before
+        obs_metrics.histogram("federation.round_seconds").observe(record.seconds)
+        obs_metrics.histogram("federation.round_bytes",
+                              buckets=_BYTE_BUCKETS).observe(record.bytes_on_wire)
+        self.stats.add_round(record)
+        if self.health is not None:
+            round_health, alerts = self.health.end_round(
+                seconds=record.seconds,
+                bytes_on_wire=record.bytes_on_wire,
+                quorum_met=record.quorum_met,
+                global_metrics=record.global_metrics,
+                new_global=self.global_weights if record.quorum_met else None)
+            record.quarantined_clients = list(round_health.quarantined)
+            self.stats.alerts.extend(alerts)
+            self.log_info("%s", self.health.status_line(round_health, alerts))
+
+    # ------------------------------------------------------------------
+    def _drain_in_flight(self) -> None:
+        """Collect (and discard) replies from sites still holding a task.
+
+        After the final commit there are up to ``concurrency`` outstanding
+        tasks; their replies must be consumed so the server inbox does not
+        leak into whatever runs on this bus next.  Under the sequential
+        drive every reply is already queued, so the drain is instant.
+        """
+        drained = 0
+        deadline = time.monotonic() + min(self.result_timeout, 5.0)
+        while self._dispatched_at:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            result = self.server.next_result(timeout=remaining)
+            if result is None:
+                break
+            sender, _ = result
+            self._dispatched_at.pop(sender, None)
+            self._dispatch_clock.pop(sender, None)
+            drained += 1
+        if drained or self._discarded_stale:
+            self.log_info("run done: drained %d in-flight result(s), "
+                          "discarded %d over-stale update(s)",
+                          drained, self._discarded_stale)

@@ -16,10 +16,10 @@ import numpy as np
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.health import HealthMonitor
-from .aggregators import Aggregator
+from .aggregators import Aggregator, MaterializationTracker
 from .constants import DataKind, EventType, ReservedKey, ReturnCode, TaskName
 from .dxo import DXO, MetaKey
-from .events import FLComponent
+from .events import FLComponent, format_names
 from .filters import (
     CompressionConfig,
     DXOFilter,
@@ -30,6 +30,7 @@ from .filters import (
     diff_tensors,
 )
 from .persistor import ModelPersistor
+from .sampling import ClientSampler, UniformSampler
 from .server import FLServer
 from .shareable import Shareable, from_dxo, to_dxo
 from .shareable_generator import FullModelShareableGenerator
@@ -104,6 +105,7 @@ class ScatterAndGather(FLComponent):
                  result_timeout: float = 600.0,
                  max_failed_rounds: int = 0,
                  sampling_seed: int = 0,
+                 sampler: ClientSampler | None = None,
                  compression: CompressionConfig | None = None,
                  health: HealthMonitor | None = None) -> None:
         super().__init__(name="ScatterAndGather")
@@ -127,9 +129,16 @@ class ScatterAndGather(FLComponent):
             raise ValueError("clients_per_round must be in [1, len(client_names)]")
         self.clients_per_round = clients_per_round
         self.result_timeout = result_timeout
-        self._sampling_rng = np.random.default_rng(sampling_seed)
+        # Pluggable per-round cohort selection (repro.flare.sampling); the
+        # default reproduces the historical seeded uniform draw.
+        self.sampler = sampler if sampler is not None \
+            else UniformSampler(seed=sampling_seed)
         default_min = clients_per_round if clients_per_round is not None else len(client_names)
         self.min_clients = min_clients if min_clients is not None else default_min
+        if clients_per_round is not None and self.min_clients > clients_per_round:
+            raise ValueError(
+                f"min_clients={self.min_clients} can never be met when only "
+                f"clients_per_round={clients_per_round} site(s) are tasked")
         self.max_failed_rounds = max_failed_rounds
         self._under_quorum_streak = 0
         self.compression = compression
@@ -150,6 +159,11 @@ class ScatterAndGather(FLComponent):
         self._downlink_residual: dict[str, np.ndarray] = {}
         self.health = health
         self.stats = RunStats()
+        # Bounded-materialization instrumentation: every decoded client
+        # update is accounted while alive (in-flight fold + any aggregator
+        # stash); the run's high-water mark lands on the stats.
+        self.materialization = MaterializationTracker()
+        self.aggregator.tracker = self.materialization
 
     # ------------------------------------------------------------------
     def run(self) -> RunStats:
@@ -168,6 +182,7 @@ class ScatterAndGather(FLComponent):
         self.stats.bytes_delivered = self.server.bus.delivered_bytes
         self.stats.retries = self.server.bus.retry_count
         self.stats.duplicates_dropped = self.server.bus.duplicates_dropped
+        self.stats.peak_materialized_updates = self.materialization.peak
         return self.stats
 
     # ------------------------------------------------------------------
@@ -179,13 +194,12 @@ class ScatterAndGather(FLComponent):
         self.fire_event(EventType.ROUND_STARTED, fl_ctx)
 
         if self.clients_per_round is not None and self.clients_per_round < len(self.client_names):
-            chosen = self._sampling_rng.choice(len(self.client_names),
-                                               size=self.clients_per_round,
-                                               replace=False)
-            participants = [self.client_names[index] for index in sorted(chosen)]
+            participants = self.sampler.sample(self.client_names,
+                                               self.clients_per_round,
+                                               round_number)
             self.log_info("sampled %d/%d clients for round %d: %s",
                           len(participants), len(self.client_names), round_number,
-                          ", ".join(participants))
+                          format_names(participants))
         else:
             participants = list(self.client_names)
 
@@ -201,7 +215,8 @@ class ScatterAndGather(FLComponent):
                                                  overrides=overrides)
         if unreachable:
             self.log_warning("round %d: %d site(s) unreachable at broadcast: %s",
-                             round_number, len(unreachable), ", ".join(unreachable))
+                             round_number, len(unreachable),
+                             format_names(unreachable))
         self.fire_event(EventType.TASKS_BROADCAST, fl_ctx)
 
         record = RoundRecord(round_number=round_number)
@@ -226,6 +241,7 @@ class ScatterAndGather(FLComponent):
             self._client_version[sender] = self._broadcast_version
             dxo = to_dxo(reply)
             del reply
+            self.materialization.acquire()  # decoded update is now live
             for result_filter in self.result_filters:
                 with obs_trace.span("filter", stage="server_result",
                                     filter=type(result_filter).__name__,
@@ -256,11 +272,12 @@ class ScatterAndGather(FLComponent):
                 seconds=float(dxo.get_meta_prop("train_seconds", 0.0)),
             ))
             del dxo
+            self.materialization.release()  # folded (or stash-accounted)
         record.dropped_clients = sorted(set(participants) - contributors)
         if record.dropped_clients:
             obs_metrics.counter("federation.dropped_clients").inc(len(record.dropped_clients))
             self.log_warning("round %d: dropped site(s): %s", round_number,
-                             ", ".join(record.dropped_clients))
+                             format_names(record.dropped_clients))
 
         obs_metrics.counter("federation.rounds").inc()
         if accepted < self.min_clients:

@@ -13,7 +13,8 @@ from typing import Any
 
 from .fl_context import FLContext
 
-__all__ = ["FLComponent", "get_fl_logger", "LogCapture", "set_console_level"]
+__all__ = ["FLComponent", "format_names", "get_fl_logger", "LogCapture",
+           "set_console_level"]
 
 _LOGGER_NAME = "repro.flare"
 _FORMAT = "%(asctime)s,%(msecs)03d - %(component)s - %(levelname)s - %(message)s"
@@ -31,6 +32,20 @@ def get_fl_logger() -> logging.Logger:
         logger.setLevel(logging.INFO)
         logger.propagate = False
     return logger
+
+
+def format_names(names: list[str] | set[str] | tuple[str, ...],
+                 limit: int = 8) -> str:
+    """Participant list for log lines, truncated for massive cohorts.
+
+    At 1,000 sampled sites a joined participant list is a multi-KB log line
+    *per round*; everything past ``limit`` names collapses to a count.
+    """
+    names = list(names)
+    if len(names) <= limit:
+        return ", ".join(names)
+    return (", ".join(names[:limit])
+            + f" … and {len(names) - limit} more")
 
 
 def set_console_level(level: int) -> None:

@@ -16,6 +16,7 @@ from .aggregators import Aggregator, InTimeAccumulateWeightedAggregator
 from .constants import DataKind
 from .filters import CompressionConfig, DXOFilter
 from .learner import Learner
+from .sampling import ClientSampler
 
 __all__ = ["FLJob"]
 
@@ -63,6 +64,27 @@ class FLJob:
         over fork-inherited shared memory — the persistent worker pool),
         or ``None`` to let ``SimulatorRunner`` decide (its own
         ``transport=`` argument overrides this).
+    mode:
+        ``"sync"`` runs the round-barrier :class:`ScatterAndGather`
+        workflow; ``"async"`` runs the FedBuff-style buffered
+        :class:`AsyncScatterAndGather`, where ``num_rounds`` counts global
+        commits and the ``buffer_size`` / ``concurrency`` /
+        ``staleness_alpha`` / ``max_staleness`` knobs below apply.
+        Async mode is incompatible with ``compression``.
+    clients_per_round:
+        Sync mode: how many sites to task per round (``None`` = all).
+    sampler:
+        Cohort-selection policy: a :class:`~repro.flare.sampling
+        .ClientSampler` instance or a spec string (``"uniform"``,
+        ``"weighted"``, ``"stratified[:n]"``); ``None`` = seeded uniform.
+    site_sizes:
+        Per-site data sizes for the weighted/stratified samplers (sites
+        not listed count as size 1).
+    sampling_seed:
+        Seed for spec-string samplers (ignored when ``sampler`` is an
+        instance, which carries its own seed).
+    buffer_size / concurrency / staleness_alpha / max_staleness:
+        Async-mode knobs, passed to :class:`AsyncScatterAndGather`.
     """
 
     name: str
@@ -80,12 +102,28 @@ class FLJob:
     max_failed_rounds: int = 0
     compression: CompressionConfig | str | None = None
     transport: str | None = None
+    mode: str = "sync"
+    clients_per_round: int | None = None
+    sampler: ClientSampler | str | None = None
+    site_sizes: dict[str, float] | None = None
+    sampling_seed: int = 0
+    buffer_size: int = 4
+    concurrency: int | None = None
+    staleness_alpha: float = 0.5
+    max_staleness: int | None = None
 
     def __post_init__(self) -> None:
         self.compression = CompressionConfig.from_spec(self.compression)
         if self.transport not in (None, "memory", "socket", "shm"):
             raise ValueError("transport must be 'memory', 'socket' or "
                              f"'shm', got {self.transport!r}")
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.mode == "async" and self.compression is not None:
+            raise ValueError("async mode is incompatible with wire compression "
+                             "(the buffered fold has no per-round delta baseline)")
+        if self.buffer_size <= 0:
+            raise ValueError("buffer_size must be positive")
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
         if not self.initial_weights:

@@ -20,6 +20,7 @@ import numpy as np
 from ..obs.health import HealthMonitor
 from ..obs.session import TelemetrySession
 from . import codec as wire_codec_module
+from .async_controller import AsyncScatterAndGather
 from .client import FederatedClient
 from .controller import ScatterAndGather
 from .dxo import set_wire_codec
@@ -31,6 +32,7 @@ from .job import FLJob
 from .persistor import ModelPersistor
 from .provision import Provisioner, default_project
 from .runner import ProcessClientRunner, TelemetryCollector, WorkerRuntime
+from .sampling import make_sampler
 from .server import FLServer
 from .shm_transport import ShmMessageBus
 from .socket_transport import SocketMessageBus
@@ -227,21 +229,53 @@ class SimulatorRunner:
                     client.serve_in_thread()
 
         persistor = ModelPersistor(self.run_dir / "models")
-        controller = ScatterAndGather(
-            server=server,
-            client_names=client_names,
-            initial_weights=self.job.initial_weights,
-            aggregator=self.job.aggregator_factory(),
-            persistor=persistor,
-            num_rounds=self.job.num_rounds,
-            evaluator=self.job.evaluator,
-            result_filters=self.job.server_result_filters,
-            min_clients=self.job.min_clients,
-            result_timeout=self.job.result_timeout,
-            max_failed_rounds=self.job.max_failed_rounds,
-            compression=self.compression,
-            health=monitor,
-        )
+        sampler = make_sampler(self.job.sampler,
+                               site_sizes=self.job.site_sizes,
+                               seed=self.job.sampling_seed)
+        if self.job.mode == "async":
+            if self.compression is not None:
+                raise ValueError("async mode is incompatible with wire "
+                                 "compression")
+            controller: ScatterAndGather | AsyncScatterAndGather = \
+                AsyncScatterAndGather(
+                    server=server,
+                    client_names=client_names,
+                    initial_weights=self.job.initial_weights,
+                    aggregator=self.job.aggregator_factory(),
+                    persistor=persistor,
+                    num_rounds=self.job.num_rounds,
+                    buffer_size=self.job.buffer_size,
+                    concurrency=self.job.concurrency,
+                    staleness_alpha=self.job.staleness_alpha,
+                    max_staleness=self.job.max_staleness,
+                    evaluator=self.job.evaluator,
+                    result_filters=self.job.server_result_filters,
+                    min_clients=self.job.min_clients,
+                    result_timeout=self.job.result_timeout,
+                    max_failed_rounds=self.job.max_failed_rounds,
+                    sampling_seed=self.job.sampling_seed,
+                    sampler=sampler,
+                    health=monitor,
+                )
+        else:
+            controller = ScatterAndGather(
+                server=server,
+                client_names=client_names,
+                initial_weights=self.job.initial_weights,
+                aggregator=self.job.aggregator_factory(),
+                persistor=persistor,
+                num_rounds=self.job.num_rounds,
+                evaluator=self.job.evaluator,
+                result_filters=self.job.server_result_filters,
+                min_clients=self.job.min_clients,
+                clients_per_round=self.job.clients_per_round,
+                result_timeout=self.job.result_timeout,
+                max_failed_rounds=self.job.max_failed_rounds,
+                sampling_seed=self.job.sampling_seed,
+                sampler=sampler,
+                compression=self.compression,
+                health=monitor,
+            )
         wire_before = wire_codec_module.wire_totals()
         worker_snapshots: dict[str, dict] = {}
 
@@ -328,13 +362,16 @@ class SimulatorRunner:
         )
 
     # ------------------------------------------------------------------
-    def _run_sequential(self, controller: ScatterAndGather,
+    def _run_sequential(self, controller: "ScatterAndGather | AsyncScatterAndGather",
                         clients: list[FederatedClient]) -> RunStats:
         """Deterministic single-thread mode: interleave controller and clients.
 
         The controller's collect step blocks, so in sequential mode each
-        round is driven manually: broadcast happens inside the controller,
-        after which every client polls exactly once per round.
+        dispatch is driven manually: broadcast happens inside the
+        controller, after which every tasked client polls exactly once per
+        TASKS_BROADCAST event (the async controller fires one per dispatch
+        wave, so in-flight sites answer deterministically in registration
+        order — the basis of the bit-reproducibility gate).
         """
         # Sequential execution re-uses the threaded controller by running the
         # clients' poll loops from a round-boundary event hook.

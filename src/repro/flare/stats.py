@@ -28,6 +28,9 @@ class ClientRoundRecord:
     valid_acc: float
     num_steps: int
     seconds: float
+    # Async aggregation only: how many commits the global model advanced
+    # between this update's dispatch and its fold (0 in synchronous rounds).
+    staleness: int = 0
 
 
 @dataclass
@@ -67,6 +70,10 @@ class RunStats:
     # directions).  With compression on, encoded < raw.
     wire_bytes_raw: int = 0
     wire_bytes_encoded: int = 0
+    # High-water mark of simultaneously-materialized decoded client updates
+    # (in-flight folds + aggregator stashes) — the massive-cohort memory
+    # guarantee asserts this stays O(buffer/arity), never O(cohort).
+    peak_materialized_updates: int = 0
     # Paths of the telemetry artifacts a TelemetrySession wrote for this run
     # (keys "metrics"/"trace"/"profile"/"health"), empty when telemetry was
     # off.
@@ -148,6 +155,7 @@ class RunStats:
             "duplicates_dropped": self.duplicates_dropped,
             "wire_bytes_raw": self.wire_bytes_raw,
             "wire_bytes_encoded": self.wire_bytes_encoded,
+            "peak_materialized_updates": self.peak_materialized_updates,
             "dropped_clients": self.dropped_clients,
             "failed_rounds": self.failed_rounds,
             "rounds": [asdict(record) for record in self.rounds],
@@ -173,6 +181,8 @@ class RunStats:
                     duplicates_dropped=payload.get("duplicates_dropped", 0),
                     wire_bytes_raw=payload.get("wire_bytes_raw", 0),
                     wire_bytes_encoded=payload.get("wire_bytes_encoded", 0),
+                    peak_materialized_updates=payload.get(
+                        "peak_materialized_updates", 0),
                     telemetry=dict(payload.get("telemetry", {})),
                     alerts=[Alert.from_dict(a)
                             for a in payload.get("alerts", [])])

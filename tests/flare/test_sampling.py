@@ -1,0 +1,180 @@
+"""Client-sampling schedulers: determinism, bias, strata and quorum interplay."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    FLJob,
+    SimulatorRunner,
+    StratifiedSampler,
+    UniformSampler,
+    WeightedSampler,
+    make_sampler,
+)
+
+from .helpers import ToyLearner, toy_weights
+
+CLIENTS = [f"site-{i}" for i in range(1, 13)]
+
+
+class TestUniformSampler:
+    def test_same_seed_same_round_is_deterministic(self):
+        a = UniformSampler(seed=7).sample(CLIENTS, 5, round_number=3)
+        b = UniformSampler(seed=7).sample(CLIENTS, 5, round_number=3)
+        assert a == b
+
+    def test_draw_is_stateless_across_call_history(self):
+        # round-3 draw does not depend on which rounds were sampled before
+        fresh = UniformSampler(seed=7)
+        warmed = UniformSampler(seed=7)
+        for r in range(3):
+            warmed.sample(CLIENTS, 5, round_number=r)
+        assert fresh.sample(CLIENTS, 5, 3) == warmed.sample(CLIENTS, 5, 3)
+
+    def test_rounds_differ_and_seeds_differ(self):
+        sampler = UniformSampler(seed=0)
+        draws = {tuple(sampler.sample(CLIENTS, 4, r)) for r in range(8)}
+        assert len(draws) > 1
+        assert UniformSampler(seed=1).sample(CLIENTS, 4, 0) != \
+            UniformSampler(seed=2).sample(CLIENTS, 4, 0)
+
+    def test_preserves_registration_order_and_uniqueness(self):
+        picks = UniformSampler(seed=3).sample(CLIENTS, 6, 0)
+        assert len(set(picks)) == 6
+        indices = [CLIENTS.index(name) for name in picks]
+        assert indices == sorted(indices)
+
+    def test_n_at_least_population_returns_everyone(self):
+        assert UniformSampler(seed=0).sample(CLIENTS, len(CLIENTS), 0) == CLIENTS
+        assert UniformSampler(seed=0).sample(CLIENTS, 99, 0) == CLIENTS
+
+    def test_rejects_non_positive_n(self):
+        with pytest.raises(ValueError, match="positive"):
+            UniformSampler().sample(CLIENTS, 0, 0)
+
+
+class TestWeightedSampler:
+    def test_large_sites_sampled_more_often(self):
+        sizes = {name: 1.0 for name in CLIENTS}
+        sizes["site-1"] = 50.0
+        sampler = WeightedSampler(site_sizes=sizes, seed=0)
+        counts = Counter()
+        for r in range(200):
+            counts.update(sampler.sample(CLIENTS, 3, r))
+        assert counts["site-1"] > max(
+            counts[name] for name in CLIENTS if name != "site-1")
+
+    def test_unknown_sites_default_to_size_one(self):
+        sampler = WeightedSampler(site_sizes={"site-1": 2.0}, seed=0)
+        assert len(sampler.sample(CLIENTS, 4, 0)) == 4
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError, match="positive"):
+            WeightedSampler(site_sizes={"site-1": 0.0})
+
+
+class TestStratifiedSampler:
+    SIZES = {name: float(i) for i, name in enumerate(CLIENTS, start=1)}
+
+    def test_no_empty_stratum_when_budget_allows(self):
+        # satellite pin: every non-empty stratum draws at least one site
+        # whenever n >= number of strata
+        sampler = StratifiedSampler(site_sizes=self.SIZES, n_strata=4, seed=0)
+        for r in range(20):
+            picks = sampler.sample(CLIENTS, 4, r)
+            strata = sampler._strata(CLIENTS)
+            assert all(any(name in stratum for name in picks)
+                       for stratum in strata), f"empty stratum at round {r}"
+
+    def test_allocation_is_proportional_and_exact(self):
+        quotas = StratifiedSampler._allocate(6, [3, 3, 3, 3])
+        assert sum(quotas) == 6
+        assert all(q >= 1 for q in quotas)
+        quotas = StratifiedSampler._allocate(10, [1, 1, 1, 17])
+        assert sum(quotas) == 10
+        assert all(q <= pop for q, pop in zip(quotas, [1, 1, 1, 17]))
+
+    def test_more_strata_than_clients_degrades_gracefully(self):
+        sampler = StratifiedSampler(site_sizes=self.SIZES, n_strata=50, seed=0)
+        picks = sampler.sample(CLIENTS, 5, 0)
+        assert len(set(picks)) == 5
+
+    def test_deterministic_per_round(self):
+        a = StratifiedSampler(site_sizes=self.SIZES, n_strata=3, seed=9)
+        b = StratifiedSampler(site_sizes=self.SIZES, n_strata=3, seed=9)
+        assert a.sample(CLIENTS, 7, 5) == b.sample(CLIENTS, 7, 5)
+
+
+class TestMakeSampler:
+    def test_spec_strings(self):
+        assert isinstance(make_sampler("uniform"), UniformSampler)
+        assert isinstance(make_sampler("weighted"), WeightedSampler)
+        stratified = make_sampler("stratified:6", seed=2)
+        assert isinstance(stratified, StratifiedSampler)
+        assert stratified.n_strata == 6
+        assert make_sampler("stratified").n_strata == 4
+
+    def test_none_and_instance_pass_through(self):
+        assert make_sampler(None) is None
+        sampler = UniformSampler(seed=5)
+        assert make_sampler(sampler) is sampler
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            make_sampler("roulette")
+
+
+class TestSamplingQuorumInterplay:
+    """Satellite: sampled rounds × quorum/min_clients behaviour."""
+
+    def test_min_clients_above_clients_per_round_rejected(self):
+        job = FLJob(name="q", initial_weights=toy_weights(),
+                    learner_factory=lambda name: ToyLearner(name),
+                    num_rounds=1, clients_per_round=2, min_clients=3)
+        with pytest.raises(ValueError, match="can never be met"):
+            SimulatorRunner(job, n_clients=5, threads=False,
+                            key_bits=128).run()
+
+    def test_under_quorum_sampled_round_keeps_previous_global(self):
+        # every site fails on round 1, so the sampled round-1 cohort yields
+        # zero usable updates; with max_failed_rounds=1 the run keeps the
+        # previous global and recovers at round 2
+        job = FLJob(name="q", initial_weights=toy_weights(0.0),
+                    learner_factory=lambda name: ToyLearner(
+                        name, delta=1.0, fail_on_round=1),
+                    num_rounds=3, clients_per_round=3, min_clients=2,
+                    max_failed_rounds=1, sampler="uniform")
+        result = SimulatorRunner(job, n_clients=8, seed=0, threads=False,
+                                 key_bits=128).run()
+        quorum = [r.quorum_met for r in result.stats.rounds]
+        assert quorum == [True, False, True]
+        # global advanced by delta exactly twice (rounds 0 and 2)
+        np.testing.assert_allclose(
+            result.final_weights["layer.bias"], np.full(2, 2.0), rtol=1e-6)
+        assert result.stats.rounds[1].dropped_clients  # sampled sites dropped
+
+    def test_sampled_run_tasks_exactly_clients_per_round(self):
+        job = FLJob(name="q", initial_weights=toy_weights(),
+                    learner_factory=lambda name: ToyLearner(name),
+                    num_rounds=4, clients_per_round=3, sampler="stratified",
+                    site_sizes={f"site-{i}": float(i) for i in range(1, 9)})
+        result = SimulatorRunner(job, n_clients=8, seed=0, threads=False,
+                                 key_bits=128).run()
+        for record in result.stats.rounds:
+            assert len(record.client_records) == 3
+            assert record.quorum_met
+
+    def test_controller_truncates_participant_log(self):
+        # satellite pin: at scale the sampled-cohort log line stays short
+        job = FLJob(name="q", initial_weights=toy_weights(),
+                    learner_factory=lambda name: ToyLearner(name),
+                    num_rounds=1, clients_per_round=10)
+        result = SimulatorRunner(job, n_clients=12, seed=0, threads=False,
+                                 key_bits=128).run()
+        sampled = [line for line in result.log_text.splitlines()
+                   if "sampled 10/12 clients" in line]
+        assert sampled and "… and 2 more" in sampled[0]

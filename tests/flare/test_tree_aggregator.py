@@ -1,0 +1,126 @@
+"""TreeAggregator: hierarchical fan-in equivalence, depth and materialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flare import (
+    DXO,
+    CoordinateMedianAggregator,
+    DataKind,
+    FLContext,
+    InTimeAccumulateWeightedAggregator,
+    MaterializationTracker,
+    MetaKey,
+    TreeAggregator,
+)
+
+
+def update(value: float, steps: int = 10) -> DXO:
+    return DXO(data_kind=DataKind.WEIGHTS,
+               data={"w": np.full((3, 3), value, dtype=np.float32)},
+               meta={MetaKey.NUM_STEPS_CURRENT_ROUND: steps})
+
+
+def fold_all(agg, updates, ctx=None):
+    ctx = ctx or FLContext()
+    for i, (value, steps) in enumerate(updates):
+        assert agg.accept(update(value, steps), f"site-{i}", ctx)
+    return agg.aggregate(ctx)
+
+
+class TestTreeEquivalence:
+    def test_matches_flat_weighted_mean(self):
+        updates = [(float(i), 5 + i % 7) for i in range(100)]
+        flat = fold_all(InTimeAccumulateWeightedAggregator(), updates)
+        tree = fold_all(TreeAggregator(arity=4), updates)
+        np.testing.assert_allclose(tree.data["w"], flat.data["w"], rtol=1e-5)
+
+    def test_unequal_weights_compose_exactly_through_partials(self):
+        # one heavy site among light ones: the subtree partial must carry
+        # the subtree's total weight or the heavy site gets diluted
+        updates = [(1.0, 1)] * 7 + [(100.0, 1000)]
+        flat = fold_all(InTimeAccumulateWeightedAggregator(), updates)
+        tree = fold_all(TreeAggregator(arity=2), updates)
+        np.testing.assert_allclose(tree.data["w"], flat.data["w"], rtol=1e-4)
+
+    def test_partial_tree_aggregates(self):
+        # n not a multiple of arity: leftovers at every level still fold
+        updates = [(float(i), 10) for i in range(37)]
+        flat = fold_all(InTimeAccumulateWeightedAggregator(), updates)
+        tree = fold_all(TreeAggregator(arity=8), updates)
+        np.testing.assert_allclose(tree.data["w"], flat.data["w"], rtol=1e-5)
+
+    def test_single_contribution(self):
+        tree = TreeAggregator(arity=4)
+        result = fold_all(tree, [(3.0, 10)])
+        np.testing.assert_allclose(result.data["w"], np.full((3, 3), 3.0))
+
+    def test_contributors_are_real_client_names(self):
+        tree = TreeAggregator(arity=2)
+        result = fold_all(tree, [(float(i), 10) for i in range(9)])
+        assert result.meta["contributors"] == [f"site-{i}" for i in range(9)]
+
+
+class TestTreeShape:
+    def test_depth_is_logarithmic(self):
+        ctx = FLContext()
+        tree = TreeAggregator(arity=4)
+        for i in range(256):
+            tree.accept(update(1.0), f"site-{i}", ctx)
+        # 256 = 4^4 leaves cascade through at most 4 + 1 levels
+        assert tree.depth <= 5
+
+    def test_duplicate_contributor_rejected(self):
+        ctx = FLContext()
+        tree = TreeAggregator(arity=4)
+        assert tree.accept(update(1.0), "site-0", ctx)
+        assert not tree.accept(update(2.0), "site-0", ctx)
+
+    def test_empty_tree_raises(self):
+        with pytest.raises(RuntimeError, match="nothing to aggregate"):
+            TreeAggregator().aggregate(FLContext())
+
+    def test_reset_clears_everything(self):
+        ctx = FLContext()
+        tree = TreeAggregator(arity=2)
+        for i in range(5):
+            tree.accept(update(1.0), f"site-{i}", ctx)
+        tree.reset()
+        assert tree.depth == 0
+        assert tree.contributors == []
+        with pytest.raises(RuntimeError):
+            tree.aggregate(ctx)
+
+
+class TestTreeMaterialization:
+    def test_stash_nodes_stay_bounded(self):
+        # flat coordinate-median stashes all n updates; the tree caps live
+        # stash entries at O(arity * depth)
+        n, arity = 64, 4
+        ctx = FLContext()
+
+        flat = CoordinateMedianAggregator()
+        flat.tracker = MaterializationTracker()
+        for i in range(n):
+            flat.accept(update(float(i)), f"site-{i}", ctx)
+        flat.aggregate(ctx)
+        assert flat.tracker.peak == n
+
+        tree = TreeAggregator(arity=arity,
+                              node_factory=CoordinateMedianAggregator)
+        tree.tracker = MaterializationTracker()
+        for i in range(n):
+            tree.accept(update(float(i)), f"site-{i}", ctx)
+        tree.aggregate(ctx)
+        # 64 leaves at arity 4 -> 4 levels; each holds < arity entries live
+        assert tree.tracker.peak <= arity * 4
+        assert tree.tracker.peak < flat.tracker.peak
+
+    def test_median_of_medians_is_approximate_but_sane(self):
+        updates = [(float(i), 10) for i in range(27)]
+        tree = TreeAggregator(arity=3, node_factory=CoordinateMedianAggregator)
+        result = fold_all(tree, updates)
+        exact = np.median([float(i) for i in range(27)])
+        assert abs(float(result.data["w"][0, 0]) - exact) <= 5.0
