@@ -11,9 +11,11 @@ three massive-cohort guarantees:
    .peak_materialized_updates``) must stay at/below a hard cap that is
    O(1) in the cohort size: the streaming fold admits one update at a
    time no matter how many sites exist.
-2. **Peak RSS** — ``ru_maxrss`` for the whole process (provisioning,
-   1,000 registered endpoints, the run itself) must stay under a budget
-   sized for O(concurrency), not O(cohort), in-flight model payloads.
+2. **Peak RSS** — the resident set of the whole process (provisioning,
+   1,000 registered endpoints, the run itself), sampled by a
+   :class:`repro.obs.sysmon.SysMonitor`, must stay under a budget sized
+   for O(concurrency), not O(cohort), in-flight model payloads; the peak
+   also lands on each run's ``stats.peak_rss_bytes`` for ``runs diff``.
 3. **Bit-reproducibility** — two same-seed runs must produce identical
    final weights, identical per-update staleness sequences and identical
    per-window wire-byte counts.
@@ -33,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import resource
 import shutil
 import subprocess
 import sys
@@ -53,6 +54,8 @@ from repro.flare import (  # noqa: E402
     MetaKey,
     SimulatorRunner,
 )
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.sysmon import SysMonitor  # noqa: E402
 
 
 class CohortLearner(Learner):
@@ -82,7 +85,7 @@ def initial_weights(dim: int) -> dict[str, np.ndarray]:
     return {"dense.weight": np.zeros((dim, dim), dtype=np.float32)}
 
 
-def run_once(args, run_dir: Path):
+def run_once(args, run_dir: Path, monitor: SysMonitor):
     job = FLJob(
         name="cohort-smoke",
         initial_weights=initial_weights(args.dim),
@@ -101,6 +104,8 @@ def run_once(args, run_dir: Path):
                              run_dir=run_dir, threads=False,
                              key_bits=128).run()
     elapsed = time.perf_counter() - started
+    monitor.sample()  # fold this run's high water into the peak
+    result.stats.peak_rss_bytes = int(monitor.peak_rss_bytes)
     result.stats.save_json(run_dir / "stats.json")
     return elapsed, result
 
@@ -133,13 +138,19 @@ def main(argv: list[str] | None = None) -> int:
     if base_dir.exists():
         shutil.rmtree(base_dir)
 
+    # Whole-process resource monitor (replaces the ru_maxrss one-shot): a
+    # private registry keeps it out of the runs' own telemetry, so the
+    # bit-reproducibility gate is untouched by the sampling thread.
+    monitor = SysMonitor(registry=MetricsRegistry(), interval=0.5,
+                         process="cohort-smoke").start()
     runs = []
     for label in ("a", "b"):
         print(f"run {label}: {args.clients} clients, {args.commits} commits, "
               f"buffer {args.buffer}, concurrency {args.concurrency}",
               file=sys.stderr)
-        runs.append(run_once(args, base_dir / f"run-{label}"))
+        runs.append(run_once(args, base_dir / f"run-{label}", monitor))
     (elapsed_a, result_a), (elapsed_b, result_b) = runs
+    monitor.stop()
 
     failures: list[str] = []
 
@@ -151,8 +162,8 @@ def main(argv: list[str] | None = None) -> int:
             f"peak materialized updates {max(peaks)} exceeds the cap "
             f"{args.max_materialized} — the fold is buffering the cohort")
 
-    # 2. peak RSS (ru_maxrss is KiB on Linux)
-    peak_rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    # 2. peak RSS as sampled by the resource monitor across both runs
+    peak_rss_mb = monitor.peak_rss_bytes / 2**20
     if peak_rss_mb > args.max_rss_mb:
         failures.append(f"peak RSS {peak_rss_mb:.0f} MiB exceeds the "
                         f"{args.max_rss_mb} MiB budget")

@@ -159,12 +159,23 @@ class AsyncScatterAndGather(FLComponent):
         fl_ctx = self.server.fl_ctx
         self.fire_event(EventType.START_RUN, fl_ctx)
         for window_index in range(self.num_rounds):
-            with obs_trace.span("commit", commit=window_index) as span:
-                self._run_window(window_index, fl_ctx)
+            # Same span name as the sync controller so round-oriented
+            # consumers (tail, dashboard, trace export) cover both modes;
+            # mode="async" plus the commit attrs carry the FedBuff detail.
+            with obs_trace.span("round", round=window_index,
+                                mode="async") as span:
+                accepted = self._run_window(window_index, fl_ctx)
+                span.set_attr("version", self._version)
+                span.set_attr("accepted", accepted)
+                span.set_attr("buffer_size", self.buffer_size)
                 last = self.stats.rounds[-1] if self.stats.rounds else None
                 if last is not None and last.round_number == window_index:
                     span.set_attr("quorum_met", last.quorum_met)
                     span.set_attr("n_clients", len(last.client_records))
+                    staleness = [client_record.staleness
+                                 for client_record in last.client_records]
+                    if staleness:
+                        span.set_attr("staleness_max", max(staleness))
         self._drain_in_flight()
         self.fire_event(EventType.END_RUN, fl_ctx)
         self.stats.messages_delivered = self.server.bus.delivered_count
@@ -208,8 +219,12 @@ class AsyncScatterAndGather(FLComponent):
         self.fire_event(EventType.TASKS_BROADCAST, fl_ctx)
 
     # ------------------------------------------------------------------
-    def _run_window(self, window_index: int, fl_ctx) -> None:
-        """Fill one commit buffer and (quorum permitting) commit the global."""
+    def _run_window(self, window_index: int, fl_ctx) -> int:
+        """Fill one commit buffer and (quorum permitting) commit the global.
+
+        Returns the number of accepted updates (the buffer fill count the
+        round span reports as ``accepted``).
+        """
         window_started = time.perf_counter()
         self.log_info("Commit window %d started (global version %d).",
                       window_index, self._version)
@@ -313,7 +328,7 @@ class AsyncScatterAndGather(FLComponent):
                 accepted, self.min_clients, self._version,
                 self._under_quorum_streak, self.max_failed_rounds)
             self.fire_event(EventType.ROUND_DONE, fl_ctx)
-            return
+            return accepted
         self._under_quorum_streak = 0
 
         self.fire_event(EventType.BEFORE_AGGREGATION, fl_ctx)
@@ -336,6 +351,7 @@ class AsyncScatterAndGather(FLComponent):
                                 metric=record.global_metrics.get("valid_acc"))
         self._close_window(record, window_started, bytes_before)
         self.fire_event(EventType.ROUND_DONE, fl_ctx)
+        return accepted
 
     # ------------------------------------------------------------------
     def _close_window(self, record: RoundRecord, window_started: float,

@@ -77,9 +77,15 @@ class WorkerRuntime:
     backend: str | None = None
     blas_threads: int | None = None
     telemetry: bool = False
+    # Sampling interval of the per-worker resource monitor (None = off).
+    # When set (and telemetry is on) every forked worker runs its own
+    # repro.obs.sysmon.SysMonitor whose gauges — tagged with the site name
+    # — ride the streamed telemetry deltas back to the parent.
+    sysmon: float | None = None
 
     @classmethod
-    def capture(cls, workers: int, telemetry: bool = False) -> "WorkerRuntime":
+    def capture(cls, workers: int, telemetry: bool = False,
+                sysmon: float | None = None) -> "WorkerRuntime":
         """Snapshot the parent's runtime, splitting BLAS threads ``workers`` ways."""
         from ..autograd import get_backend, get_default_dtype
         from ..autograd._blas import recommended_blas_threads
@@ -87,7 +93,8 @@ class WorkerRuntime:
         return cls(default_dtype=np.dtype(get_default_dtype()).name,
                    backend=get_backend(),
                    blas_threads=recommended_blas_threads(workers),
-                   telemetry=telemetry)
+                   telemetry=telemetry,
+                   sysmon=sysmon)
 
     def apply(self) -> None:
         from ..autograd import set_backend, set_default_dtype, tune_malloc
@@ -239,6 +246,7 @@ def client_process_main(config: ClientProcessConfig,
         config.runtime.apply()
     registry = profiler = previous_registry = None
     tracer = previous_tracer = None
+    sysmon = None
     exporter: _WorkerTelemetryExporter | None = None
     if config.runtime is not None and config.runtime.telemetry:
         from ..obs import metrics as obs_metrics
@@ -262,6 +270,15 @@ def client_process_main(config: ClientProcessConfig,
         tracer = Tracer(trace_id=config.trace_id, process=name,
                         adopt_clock=True)
         previous_tracer = obs_trace.set_tracer(tracer)
+        if config.runtime.sysmon is not None:
+            # per-worker resource sampler: its site-tagged gauges live in
+            # this registry, so every streamed delta carries them and the
+            # parent's merged metrics (and exporter scrape) show RSS/CPU
+            # per client process
+            from ..obs.sysmon import SysMonitor
+
+            sysmon = SysMonitor(registry=registry, process=name,
+                                interval=config.runtime.sysmon).start()
     if config.bus is not None:
         # fork-inherited fabric (shm): the queues already exist; this
         # process just claims its endpoint and installs its keys below
@@ -312,6 +329,8 @@ def client_process_main(config: ClientProcessConfig,
             from ..obs import metrics as obs_metrics
             from ..obs import trace as obs_trace
 
+            if sysmon is not None:
+                sysmon.stop()  # final sample rides the goodbye delta
             profiler.uninstall()
             obs_metrics.set_registry(previous_registry)
             obs_trace.set_tracer(previous_tracer)

@@ -18,7 +18,7 @@ from pathlib import Path
 import numpy as np
 
 from ..obs.health import HealthMonitor
-from ..obs.session import TelemetrySession
+from ..obs.session import TelemetrySession, _sysmon_interval
 from . import codec as wire_codec_module
 from .async_controller import AsyncScatterAndGather
 from .client import FederatedClient
@@ -68,7 +68,9 @@ class SimulatorRunner:
                  compression: CompressionConfig | str | None = None,
                  wire_codec: str | None = None,
                  transport: str | None = None,
-                 telemetry_flush: float = 0.5) -> None:
+                 telemetry_flush: float = 0.5,
+                 metrics_port: int | None = None,
+                 sysmon: bool | float | None = None) -> None:
         if n_clients <= 0:
             raise ValueError("n_clients must be positive")
         if max_parallel <= 0:
@@ -100,6 +102,22 @@ class SimulatorRunner:
         # lower means fresher live tails and less loss on a crash.
         self.telemetry = telemetry
         self.telemetry_flush = telemetry_flush
+        # Live operations plane.  ``metrics_port`` arms a loopback
+        # Prometheus exporter (0 = ephemeral port) serving /metrics and
+        # /healthz for the duration of the run — implies telemetry.
+        # ``sysmon`` arms the resource sampler (sys.rss_bytes and friends)
+        # in the server and in every worker process: True = default
+        # interval, a float = interval seconds; the default None arms it
+        # exactly when the exporter is on.
+        self.metrics_port = metrics_port
+        if metrics_port is not None:
+            self.telemetry = True
+        if sysmon is None:
+            sysmon = metrics_port is not None
+        self.sysmon_interval = _sysmon_interval(sysmon)
+        # Set while run() executes (telemetry runs only): the live
+        # MetricsExporter, so callers can discover the bound port/url.
+        self.metrics_exporter = None
         # Live health monitoring: per-client drift diagnostics + anomaly
         # alerts per round, written to run_dir/health.jsonl and surfaced on
         # stats.alerts.  ``True`` uses the default detector set (quarantine
@@ -137,8 +155,11 @@ class SimulatorRunner:
         # run_dir/trace.jsonl live (tail the run with
         # ``python -m repro.obs tail <run_dir>``).
         session = (TelemetrySession(self.run_dir, health=monitor or False,
-                                    process="server").start()
+                                    process="server",
+                                    sysmon=self.sysmon_interval or False,
+                                    exporter=self.metrics_port).start()
                    if self.telemetry else None)
+        self.metrics_exporter = session.exporter if session is not None else None
         previous_codec = (set_wire_codec(self.wire_codec)
                           if self.wire_codec is not None else None)
         try:
@@ -150,6 +171,7 @@ class SimulatorRunner:
                 session.stop()  # finalizes the health artifact too
             elif monitor is not None:
                 monitor.finalize()
+            self.metrics_exporter = None
             if capture is not None:
                 capture.detach()
 
@@ -175,6 +197,12 @@ class SimulatorRunner:
                    if self.fault_plan is not None else MessageBus())
         server = FLServer(kits["server"], bus, seed=self.seed)
         server.log_info("Create the simulate clients.")
+        exporter = session.exporter if session is not None else None
+        if exporter is not None:
+            # A scrape sees the transport/codec registries live, not just
+            # after the end-of-run merge into the session registry.
+            exporter.add_source(bus.metrics.to_dict)
+            exporter.add_source(wire_codec_module.wire_metrics.to_dict)
 
         clients: list[FederatedClient] = []
         runner: ProcessClientRunner | None = None
@@ -190,6 +218,18 @@ class SimulatorRunner:
                 server.telemetry_sink = collector.ingest
                 if session is not None and session.tracer is not None:
                     trace_id = session.tracer.trace_id
+                if exporter is not None:
+                    # Mid-run scrapes show every worker's latest streamed
+                    # snapshot: sys.rss_bytes{process=site-N}, training
+                    # counters, transport/wire registries.
+                    def _worker_metrics(collector=collector):
+                        return [part
+                                for snapshot in collector.snapshots().values()
+                                for key in ("metrics", "transport", "wire")
+                                for part in [snapshot.get(key)]
+                                if isinstance(part, dict)]
+
+                    exporter.add_source(_worker_metrics)
             runner = ProcessClientRunner(
                 self.job.learner_factory, kits, server,
                 compression=self.compression,
@@ -197,7 +237,8 @@ class SimulatorRunner:
                 fault_plan=self.fault_plan,
                 max_parallel=self.max_parallel,
                 runtime=WorkerRuntime.capture(len(client_names),
-                                              telemetry=self.telemetry),
+                                              telemetry=self.telemetry,
+                                              sysmon=self.sysmon_interval),
                 trace_id=trace_id,
                 telemetry_flush=self.telemetry_flush,
                 collector=collector)
@@ -341,6 +382,9 @@ class SimulatorRunner:
                 if session.profiler is not None \
                         and isinstance(snapshot.get("profile"), dict):
                     session.profiler.merge_dict(snapshot["profile"])
+            if session.sysmon is not None:
+                session.sysmon.sample()  # capture the end-of-run high water
+                stats.peak_rss_bytes = int(session.sysmon.peak_rss_bytes)
             stats.telemetry = session.artifact_paths()
         elif monitor is not None and monitor.health_path is not None:
             stats.telemetry = {"health": str(monitor.health_path)}

@@ -24,12 +24,26 @@ The instrument panel every other subsystem reports into:
   (``python -m repro.obs trace export <run_dir>``).
 - :mod:`repro.obs.tail` — live trace follower for streaming runs
   (``python -m repro.obs tail <run_dir>``).
+- :mod:`repro.obs.sysmon` — :class:`SysMonitor`, the background resource
+  sampler (RSS, CPU, fds, /dev/shm, GC) feeding ``sys.*`` gauges into the
+  registry, armed per process.
+- :mod:`repro.obs.exporter` — :class:`MetricsExporter`, the loopback
+  Prometheus/OpenMetrics ``/metrics`` + ``/healthz`` endpoint
+  (``SimulatorRunner(metrics_port=...)``).
+- :mod:`repro.obs.dashboard` — the live terminal dashboard
+  (``python -m repro.obs watch <run_dir|url>``).
 
 See ``docs/OBSERVABILITY.md`` for the full API and artifact schemas.
 """
 
 from . import metrics, trace
 from .chrome import export_chrome_trace, to_chrome_trace
+from .dashboard import Dashboard, watch
+from .exporter import (
+    MetricsExporter,
+    parse_prometheus_text,
+    render_prometheus,
+)
 from .health import (
     Alert,
     Detector,
@@ -54,6 +68,7 @@ from .profiler import OpProfiler, get_profiler
 from .registry import RunRegistry, diff_runs, summarize_run
 from .report import load_trace, load_trace_events, render_report
 from .session import TelemetrySession, TraceStreamWriter
+from .sysmon import SysMonitor, read_proc_sample
 from .tail import iter_trace_records, tail_run
 from .trace import (
     Span,
@@ -81,4 +96,7 @@ __all__ = [
     "NonFiniteUpdateDetector", "DivergingClientDetector", "StragglerDetector",
     "StalledConvergenceDetector", "WireBlowupDetector",
     "RunRegistry", "summarize_run", "diff_runs",
+    "SysMonitor", "read_proc_sample",
+    "MetricsExporter", "render_prometheus", "parse_prometheus_text",
+    "Dashboard", "watch",
 ]

@@ -110,6 +110,13 @@ def _metric_dims(metrics_payload: dict) -> dict[str, float]:
             key = "round_bytes_p50{%s}" % ",".join(
                 f"{k}={v}" for k, v in sorted(tags.items()))
             dims[key] = float(gauge.get("value", 0.0))
+        elif name in ("sys.peak_rss_bytes", "sys.open_fds"):
+            # sysmon resource gauges, one per process: memory/fd footprint
+            # regressions show up in ``runs diff`` like timing ones do
+            stem = "peak_rss" if name == "sys.peak_rss_bytes" else "open_fds"
+            process = tags.get("process", "?")
+            dims[f"{stem}{{process={process}}}"] = float(
+                gauge.get("value", 0.0))
     return dims
 
 
@@ -166,6 +173,9 @@ def summarize_run(path: str | Path) -> dict:
         for key in ("wire_bytes_raw", "wire_bytes_encoded"):
             if stats_payload.get(key):
                 summary[key] = stats_payload[key]
+        if stats_payload.get("peak_rss_bytes"):
+            summary["peak_rss_bytes"] = stats_payload["peak_rss_bytes"]
+            dims["peak_rss"] = float(stats_payload["peak_rss_bytes"])
         alerts = stats_payload.get("alerts", [])
         if alerts:
             summary.setdefault("alerts_sample", alerts[:5])
@@ -282,6 +292,8 @@ class DiffThresholds:
     round_seconds: float = 0.25   # +25% p50 round wall clock (noisier)
     bytes: float = 0.10           # +10% p50 bytes per round
     metric_drop: float = 0.01     # absolute drop of a final metric
+    rss: float = 0.25             # +25% peak resident set (allocator noise)
+    open_fds: float = 0.50        # +50% open fds (small denominators)
     # metric keys matching these substrings are better when *lower*
     lower_better_metrics: tuple[str, ...] = ("loss", "perplexity", "error")
 
@@ -335,6 +347,10 @@ def _dimension_rule(dimension: str,
         return "lower", thresholds.round_seconds, "relative"
     if dimension.startswith("round_bytes"):
         return "lower", thresholds.bytes, "relative"
+    if dimension.startswith("peak_rss"):
+        return "lower", thresholds.rss, "relative"
+    if dimension.startswith("open_fds"):
+        return "lower", thresholds.open_fds, "relative"
     if dimension.startswith("alerts_critical"):
         return "lower", 0.0, "absolute"
     if dimension.startswith("alerts_warning"):
@@ -496,6 +512,8 @@ def add_runs_parser(subparsers) -> None:
     diff_p.add_argument("--round-seconds-threshold", type=float, default=0.25)
     diff_p.add_argument("--bytes-threshold", type=float, default=0.10)
     diff_p.add_argument("--metric-drop", type=float, default=0.01)
+    diff_p.add_argument("--rss-threshold", type=float, default=0.25)
+    diff_p.add_argument("--fds-threshold", type=float, default=0.50)
     diff_p.add_argument("--json", action="store_true",
                         help="emit the diff as JSON instead of text")
 
@@ -517,7 +535,9 @@ def run_runs_command(args) -> int:
                 step_time=args.step_time_threshold,
                 round_seconds=args.round_seconds_threshold,
                 bytes=args.bytes_threshold,
-                metric_drop=args.metric_drop)
+                metric_drop=args.metric_drop,
+                rss=args.rss_threshold,
+                open_fds=args.fds_threshold)
             dimensions = ([d.strip() for d in args.dimensions.split(",") if d.strip()]
                           if args.dimensions else None)
             report = diff_runs(registry.resolve(args.a),

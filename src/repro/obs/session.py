@@ -42,6 +42,17 @@ TRACE_FILE = "trace.jsonl"
 PROFILE_FILE = "profile.json"
 
 
+def _sysmon_interval(value: bool | float) -> float | None:
+    """A bool/float sysmon knob to a sampling interval (None = off)."""
+    if value is True:
+        from .sysmon import DEFAULT_INTERVAL
+
+        return DEFAULT_INTERVAL
+    if not value:
+        return None
+    return float(value)
+
+
 class TraceStreamWriter:
     """Append-only ``trace.jsonl`` writer shared by every producer.
 
@@ -122,6 +133,17 @@ class TelemetrySession:
         Spans at least this wide kick an immediate flush when they close
         (a finished round shows up in ``tail`` without waiting out the
         interval).
+    sysmon:
+        Off by default.  ``True`` arms a
+        :class:`~repro.obs.sysmon.SysMonitor` sampling this process's
+        RSS/CPU/fd/shm usage into the session registry (tagged with
+        ``process=``); a float sets the sampling interval in seconds.
+    exporter:
+        Off by default.  An int arms a
+        :class:`~repro.obs.exporter.MetricsExporter` on that loopback
+        port (0 = ephemeral) serving ``/metrics`` from the live session
+        registry and ``/healthz`` from the health monitor; pass a
+        pre-built exporter to add extra snapshot sources first.
     """
 
     def __init__(self, run_dir: str | Path, metrics: bool = True,
@@ -129,8 +151,11 @@ class TelemetrySession:
                  health: bool | HealthMonitor = False,
                  trace_id: str | None = None, process: str | None = None,
                  flush_interval: float | None = 0.5,
-                 flush_threshold: float = 0.2) -> None:
+                 flush_threshold: float = 0.2,
+                 sysmon: bool | float = False,
+                 exporter: "int | object | None" = None) -> None:
         self.run_dir = Path(run_dir)
+        self.process = process
         self.registry: MetricsRegistry | None = MetricsRegistry() if metrics else None
         self.tracer: Tracer | None = (
             Tracer(trace_id=trace_id, process=process) if trace else None)
@@ -138,6 +163,25 @@ class TelemetrySession:
         if health is True:
             health = HealthMonitor(run_dir=self.run_dir)
         self.health: HealthMonitor | None = health or None
+        self.sysmon = None
+        sysmon_interval = _sysmon_interval(sysmon)
+        if sysmon_interval is not None and self.registry is not None:
+            from .sysmon import SysMonitor
+
+            self.sysmon = SysMonitor(registry=self.registry,
+                                     interval=sysmon_interval,
+                                     process=process or "main")
+        self.exporter = None
+        if exporter is not None:
+            if isinstance(exporter, (int, bool)):
+                from .exporter import MetricsExporter
+
+                exporter = MetricsExporter(port=int(exporter))
+            self.exporter = exporter
+            if self.registry is not None:
+                self.exporter.add_source(self.registry.to_dict)
+            if self.exporter.health is None:
+                self.exporter.health = self.health
         self.flush_interval = flush_interval
         self.flush_threshold = flush_threshold
         self._writer: TraceStreamWriter | None = None
@@ -219,6 +263,10 @@ class TelemetrySession:
                 self._flusher.start()
         if self.profiler is not None:
             self.profiler.install()
+        if self.sysmon is not None:
+            self.sysmon.start()
+        if self.exporter is not None:
+            self.exporter.start()
         self._active = True
         return self
 
@@ -226,6 +274,9 @@ class TelemetrySession:
         """Restore previous instruments and write the artifacts."""
         if not self._active:
             return {}
+        if self.sysmon is not None:
+            # final sample lands in the session registry before it is saved
+            self.sysmon.stop()
         if self._flusher is not None:
             self._flusher_stop.set()
             self._flush_kick.set()
@@ -252,6 +303,9 @@ class TelemetrySession:
             self.profiler.save_json(self.run_dir / PROFILE_FILE)
         if self.health is not None:
             self.health.finalize()
+        if self.exporter is not None:
+            # last so a dashboard can scrape right through the run's tail
+            self.exporter.stop()
         return self.artifact_paths()
 
     def __enter__(self) -> "TelemetrySession":

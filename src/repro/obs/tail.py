@@ -115,6 +115,19 @@ class _RoundTracker:
                     f"done in {_fmt_s(record.get('wall_s') or 0.0)}")
         if name == "round":
             round_number = attrs.get("round")
+            if attrs.get("mode") == "async":
+                # FedBuff commit window: show the buffer fill, the global
+                # version it produced and how stale the updates ran.
+                fill = (f"{attrs.get('accepted', '?')}/"
+                        f"{attrs.get('buffer_size', '?')} update(s)")
+                detail = f"buffer {fill}, global v{attrs.get('version', '?')}"
+                staleness = attrs.get("staleness_max")
+                if staleness is not None:
+                    detail += f", staleness max {staleness}"
+                if attrs.get("quorum_met") is False:
+                    detail += ", under quorum"
+                return (f"commit window {round_number} closed in "
+                        f"{_fmt_s(record.get('wall_s') or 0.0)} ({detail})")
             # worker deltas race the server's own stream, so tasks for this
             # round may still arrive (and print) after this line
             n_tasks = len(self.tasks_by_round.get(round_number, []))

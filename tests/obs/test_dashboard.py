@@ -1,0 +1,163 @@
+"""Dashboard tests: record folding, frame rendering, watch() over a run dir
+and over a live exporter URL, plus the async commit-window tail rendering."""
+
+import io
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "flare"))
+from helpers import ToyLearner, toy_weights  # noqa: E402
+
+from repro.flare import FLJob, SimulatorRunner  # noqa: E402
+from repro.obs.dashboard import Dashboard, sparkline, watch  # noqa: E402
+from repro.obs.tail import _RoundTracker  # noqa: E402
+
+
+def test_sparkline():
+    assert sparkline([]) == ""
+    assert sparkline([1.0]) == "▁"
+    line = sparkline([0, 1, 2, 3])
+    assert len(line) == 4 and line[0] == "▁" and line[-1] == "█"
+    assert len(sparkline(range(100), width=24)) == 24
+
+
+def test_dashboard_folds_sync_round_spans():
+    board = Dashboard(target="demo")
+    board.feed_trace_record({"schema": "repro.obs.trace/v1", "trace_id": "t1"})
+    board.feed_trace_record({"span_id": "a", "name": "client_task",
+                             "t_end": 1.0, "wall_s": 0.5,
+                             "attrs": {"round": 0, "client": "site-1"}})
+    board.feed_trace_record({"span_id": "b", "name": "round", "t_end": 1.0,
+                             "wall_s": 0.9,
+                             "attrs": {"round": 0, "quorum_met": True,
+                                       "n_clients": 1}})
+    frame = board.render()
+    assert "trace t1" in frame
+    assert "rounds: 1 complete" in frame
+    assert "site-1" in frame
+
+
+def test_dashboard_renders_async_commit_progress():
+    board = Dashboard(target="demo")
+    board.feed_trace_record({"span_id": "c", "name": "round", "t_end": 2.0,
+                             "wall_s": 1.0,
+                             "attrs": {"round": 0, "mode": "async",
+                                       "version": 1, "accepted": 4,
+                                       "buffer_size": 4, "staleness_max": 2,
+                                       "quorum_met": True}})
+    frame = board.render()
+    assert "commits: 1 (global v1)" in frame
+    assert "last window 4/4 update(s)" in frame
+    assert "staleness max 2" in frame
+
+
+def test_dashboard_health_and_quarantine():
+    board = Dashboard(target="demo")
+    board.feed_health_record({"event": "alert", "severity": "critical",
+                              "detector": "diverging_client",
+                              "client": "site-2", "round_number": 3,
+                              "message": "cosine to peers below threshold"})
+    board.feed_health_record({"event": "round", "round": 3,
+                              "participants": ["site-1", "site-2"],
+                              "quarantined": ["site-2"]})
+    frame = board.render()
+    assert "QUARANTINED" in frame
+    assert "diverging_client" in frame
+
+
+def test_dashboard_scrape_and_healthz_feed():
+    board = Dashboard(target="http://x")
+    board.feed_scrape([("sys_rss_bytes", {"process": "server"}, 1024.0),
+                       ("sys_rss_bytes", {"process": "site-1"}, 2048.0),
+                       ("sys_cpu_percent", {"process": "server"}, 42.0),
+                       ("federation_rounds", {}, 2.0)])
+    board.feed_healthz({"status": "critical", "alert_counts": {"critical": 1},
+                        "quarantined": ["site-1"],
+                        "alerts": [{"severity": "critical", "client": "site-1",
+                                    "detector": "d", "round_number": 0,
+                                    "message": "m"}]})
+    frame = board.render()
+    assert "rounds: 2 complete" in frame
+    assert "health: critical" in frame
+    assert "rss server" in frame and "1.0KiB" in frame
+    assert "cpu server" in frame and "42%" in frame
+    assert "QUARANTINED" in frame
+
+
+def test_watch_run_dir_renders_to_footer(tmp_path):
+    job = FLJob(name="watch", initial_weights=toy_weights(0.0),
+                learner_factory=ToyLearner, num_rounds=2)
+    SimulatorRunner(job, n_clients=2, seed=0, run_dir=tmp_path,
+                    telemetry=True, health=True).run()
+    out = io.StringIO()
+    frames = watch(str(tmp_path), refresh=0.05, stream=out, max_frames=40,
+                   idle_timeout=5.0, clear=False)
+    assert frames >= 1
+    text = out.getvalue()
+    assert "rounds: 2 complete" in text
+    assert "run finished (trace footer seen)" in text
+    assert "site-1" in text and "site-2" in text
+
+
+def test_watch_url_mode_against_live_exporter(tmp_path):
+    class SlowLearner(ToyLearner):
+        def train(self, dxo, fl_ctx):
+            time.sleep(0.3)
+            return super().train(dxo, fl_ctx)
+
+    job = FLJob(name="watch-url", initial_weights=toy_weights(0.0),
+                learner_factory=SlowLearner, num_rounds=2)
+    runner = SimulatorRunner(job, n_clients=2, seed=0, run_dir=tmp_path,
+                             metrics_port=0, sysmon=0.1)
+    out = io.StringIO()
+    frames = {}
+
+    def watcher():
+        for _ in range(100):
+            if runner.metrics_exporter is not None:
+                frames["n"] = watch(runner.metrics_exporter.url,
+                                    refresh=0.1, stream=out, max_frames=8,
+                                    idle_timeout=5.0, clear=False)
+                return
+            time.sleep(0.05)
+
+    thread = threading.Thread(target=watcher, daemon=True)
+    thread.start()
+    runner.run()
+    thread.join(timeout=30)
+    assert frames.get("n", 0) >= 1
+    assert "rss server" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# tail renders async commit windows
+# ---------------------------------------------------------------------------
+def test_tail_renders_async_commit_window():
+    tracker = _RoundTracker()
+    line = tracker.feed({"span_id": "x", "name": "round", "t_end": 2.0,
+                         "wall_s": 1.5,
+                         "attrs": {"round": 3, "mode": "async", "version": 4,
+                                   "accepted": 8, "buffer_size": 8,
+                                   "staleness_max": 1, "quorum_met": True}})
+    assert line == ("commit window 3 closed in 1.500s "
+                    "(buffer 8/8 update(s), global v4, staleness max 1)")
+
+
+def test_tail_renders_async_under_quorum():
+    tracker = _RoundTracker()
+    line = tracker.feed({"span_id": "y", "name": "round", "t_end": 2.0,
+                         "wall_s": 0.5,
+                         "attrs": {"round": 0, "mode": "async", "version": 0,
+                                   "accepted": 1, "buffer_size": 4,
+                                   "quorum_met": False}})
+    assert "under quorum" in line
+    assert "buffer 1/4 update(s)" in line
+
+
+def test_tail_sync_round_rendering_unchanged():
+    tracker = _RoundTracker()
+    line = tracker.feed({"span_id": "z", "name": "round", "t_end": 1.0,
+                         "wall_s": 0.2, "attrs": {"round": 1}})
+    assert line == "round 1 complete in 200.0ms (0 task(s) streamed so far)"
